@@ -1,0 +1,106 @@
+"""E6 (§3): server-process pool strategies under expensive process creation.
+
+Claims reproduced: when dynamic process creation is expensive, dynamic
+per-call creation inflates call latency; preallocating one process per
+array slot removes the per-call cost; a shared pool of M << N processes
+keeps the process count low "for resources in high demand where the
+average queue length is significant" at a modest latency cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PoolConfig
+from repro.core.monitoring import response_times
+from repro.kernel import CostModel, Kernel, Par
+from repro.stdlib import Dictionary
+from repro.workloads import Zipf, word_corpus
+
+from harness import print_table
+
+REQUESTS = 60
+CORPUS = word_corpus(REQUESTS)  # all-distinct words: no combining noise
+ENTRIES = {w: f"d-{w}" for w in CORPUS}
+HEAVY = CostModel(process_create=300, lwp_create=5, context_switch=1)
+
+
+def drive(pool: PoolConfig, label: str) -> dict:
+    kernel = Kernel(costs=HEAVY)
+    dictionary = Dictionary(
+        kernel,
+        entries=ENTRIES,
+        search_max=16,
+        search_work=30,
+        combining=False,
+        pool=pool,
+        record_calls=True,
+    )
+
+    def client(word):
+        return (yield dictionary.search(word))
+
+    def main():
+        return (yield Par(*[lambda w=w: client(w) for w in CORPUS]))
+
+    kernel.run_process(main)
+    calls = dictionary.completed_calls("search")
+    summary = response_times(calls)
+    return {
+        "pool": label,
+        "workers_peak": dictionary.pool.max_busy,
+        "preallocation": dictionary.pool.preallocation_cost,
+        "queued_starts": dictionary.pool.queued_starts,
+        "mean_response": round(summary.mean, 1),
+        "p95_response": summary.p95,
+        "elapsed": kernel.clock.now,
+    }
+
+
+def run_experiment() -> list[dict]:
+    return [
+        drive(PoolConfig("dynamic", lightweight=False), "dynamic(heavy)"),
+        drive(PoolConfig("dynamic", lightweight=True), "dynamic(lwp)"),
+        drive(PoolConfig("per-slot"), "per-slot N=16"),
+        drive(PoolConfig("shared", size=8), "shared M=8"),
+        drive(PoolConfig("shared", size=4), "shared M=4"),
+        drive(PoolConfig("shared", size=2), "shared M=2"),
+    ]
+
+
+def test_e6_table(benchmark, capsys):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    with capsys.disabled():
+        print_table(
+            f"E6 pool strategies: {REQUESTS} bursty requests, "
+            f"process creation = 300 ticks",
+            rows,
+            note="per-slot/shared preallocate (cost charged up front)",
+        )
+    by_label = {r["pool"]: r for r in rows}
+    # Dynamic heavy creation inflates latency vs preallocated slots.
+    assert (
+        by_label["per-slot N=16"]["mean_response"]
+        < by_label["dynamic(heavy)"]["mean_response"]
+    )
+    # Shared pools bound the worker population...
+    assert by_label["shared M=4"]["workers_peak"] <= 4
+    assert by_label["shared M=2"]["workers_peak"] <= 2
+    # ...at the price of queued starts and growing latency as M shrinks.
+    assert by_label["shared M=2"]["queued_starts"] > 0
+    assert (
+        by_label["shared M=2"]["p95_response"]
+        >= by_label["shared M=8"]["p95_response"]
+    )
+
+
+@pytest.mark.parametrize(
+    "mode,size", [("dynamic", None), ("per-slot", None), ("shared", 4)]
+)
+def test_e6_speed(benchmark, mode, size):
+    pool = PoolConfig(mode, size=size, lightweight=(mode != "dynamic"))
+    benchmark(drive, pool, mode)
+
+
+if __name__ == "__main__":
+    print_table("E6", run_experiment())

@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_e*.py`` module reproduces one experiment from DESIGN.md §4.
+The measured quantity is *virtual-time behaviour* (throughput, latency,
+process counts — the numbers the paper argues about); pytest-benchmark
+additionally times the simulation itself so regressions in the kernel
+show up.
+
+Every experiment prints its table via :func:`print_table`, so
+``pytest benchmarks/ --benchmark-only -s`` regenerates the full set of
+results, and each module exposes ``run_experiment()`` so the tables can
+also be produced without pytest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def print_table(title: str, rows: Sequence[dict], note: str = "") -> None:
+    """Render rows (list of dicts with identical keys) as an aligned table."""
+    print(f"\n## {title}")
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0])
+    widths = {
+        key: max(len(str(key)), *(len(_fmt(row[key])) for row in rows))
+        for key in keys
+    }
+    header = "  ".join(str(key).rjust(widths[key]) for key in keys)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_fmt(row[key]).rjust(widths[key]) for key in keys))
+    if note:
+        print(f"({note})")
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

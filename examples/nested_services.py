@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""The nested-call problem (§2.3): ALPS managers vs Ada-style rendezvous.
+
+Two services call each other: X.p calls Y.q, which calls back into X.r.
+With Ada-style rendezvous the server task is busy inside X.p and can never
+accept X.r — deadlock.  With ALPS managers, start is asynchronous: X's
+manager starts p's body and is immediately ready to accept r.
+
+Run:  python examples/nested_services.py
+"""
+
+from repro import Kernel, Select
+from repro.baselines import AdaTask
+from repro.core import (
+    AcceptGuard,
+    AlpsObject,
+    AwaitGuard,
+    Finish,
+    Start,
+    entry,
+    manager_process,
+)
+from repro.errors import DeadlockError
+
+
+def alps_version():
+    kernel = Kernel()
+    holder = {}
+
+    class ServiceX(AlpsObject):
+        @entry(returns=1, array=2)
+        def p(self):
+            value = yield holder["y"].q()
+            return f"p({value})"
+
+        @entry(returns=1, array=2)
+        def r(self):
+            return "r"
+
+        @manager_process(intercepts=["p", "r"])
+        def mgr(self):
+            while True:
+                result = yield Select(
+                    AcceptGuard(self, "p"),
+                    AcceptGuard(self, "r"),
+                    AwaitGuard(self, "p"),
+                    AwaitGuard(self, "r"),
+                )
+                if isinstance(result.guard, AcceptGuard):
+                    yield Start(result.value)  # asynchronous: stays receptive
+                else:
+                    yield Finish(result.value)
+
+    class ServiceY(AlpsObject):
+        @entry(returns=1, array=2)
+        def q(self):
+            value = yield holder["x"].r()  # calls BACK into X
+            return f"q({value})"
+
+        @manager_process(intercepts=["q"])
+        def mgr(self):
+            while True:
+                result = yield Select(
+                    AcceptGuard(self, "q"), AwaitGuard(self, "q")
+                )
+                if isinstance(result.guard, AcceptGuard):
+                    yield Start(result.value)
+                else:
+                    yield Finish(result.value)
+
+    holder["x"] = ServiceX(kernel, name="X")
+    holder["y"] = ServiceY(kernel, name="Y")
+
+    def client():
+        return (yield holder["x"].p())
+
+    result = kernel.run_process(client)
+    return f"completed: {result} (t={kernel.clock.now})"
+
+
+def rendezvous_version():
+    kernel = Kernel()
+    tasks = {}
+
+    def server_x(x):
+        while True:
+            request = yield x.accept("p", "r")
+            if request.entry == "p":
+                # The task itself performs the nested call: while waiting
+                # for Y it cannot accept r.
+                value = yield from tasks["y"].call("q")
+                yield x.reply(request, f"p({value})")
+            else:
+                yield x.reply(request, "r")
+
+    def server_y(y):
+        while True:
+            request = yield y.accept("q")
+            value = yield from tasks["x"].call("r")
+            yield y.reply(request, f"q({value})")
+
+    tasks["x"] = AdaTask(kernel, ["p", "r"], server_x, name="X")
+    tasks["y"] = AdaTask(kernel, ["q"], server_y, name="Y")
+
+    def client():
+        return (yield from tasks["x"].call("p"))
+
+    kernel.spawn(client)
+    try:
+        kernel.run()
+        return "completed (unexpected!)"
+    except DeadlockError as exc:
+        lines = str(exc).splitlines()
+        return "DEADLOCK detected:\n    " + "\n    ".join(lines[1:])
+
+
+def main():
+    print("call chain: client -> X.p -> Y.q -> X.r\n")
+    print("ALPS managers (asynchronous start):")
+    print(f"  {alps_version()}\n")
+    print("Ada-style rendezvous (service inside the task):")
+    print(f"  {rendezvous_version()}\n")
+    print('§2.3: "Note that DP, Ada and SR suffer from the nested calls problem."')
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Baseline synchronization abstractions the ALPS manager generalizes (§1).
+
+Semaphores, Mesa monitors, serializers, path expressions and Ada-style
+rendezvous — all built on the same kernel so that the comparisons in
+benchmarks E1/E2/E8/E10 measure mechanism differences, not substrate
+differences.
+"""
+
+from .monitor import Condition, Monitor
+from .objects import (
+    MonitorBuffer,
+    MonitorReadersWriters,
+    PathBuffer,
+    PathReadersWriters,
+    SemaphoreBuffer,
+    SerializerReadersWriters,
+)
+from .path_expressions import PathRuntime, compile_path, parse_path
+from .rendezvous import AdaTask, EntryRequest
+from .semaphore import P, PGuard, Semaphore, V, p_all, v_all
+from .serializer import Crowd, Serializer, SerializerQueue
+
+__all__ = [
+    "Semaphore",
+    "P",
+    "V",
+    "PGuard",
+    "p_all",
+    "v_all",
+    "Monitor",
+    "Condition",
+    "Serializer",
+    "SerializerQueue",
+    "Crowd",
+    "PathRuntime",
+    "compile_path",
+    "parse_path",
+    "AdaTask",
+    "EntryRequest",
+    "SemaphoreBuffer",
+    "MonitorBuffer",
+    "PathBuffer",
+    "MonitorReadersWriters",
+    "SerializerReadersWriters",
+    "PathReadersWriters",
+]

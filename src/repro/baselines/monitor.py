@@ -1,0 +1,120 @@
+"""Mesa-style monitors with condition variables, on the ALPS kernel.
+
+§1: "The object/manager facility in ALPS is a generalization of the
+well-known synchronization abstractions monitor [1,2] ..." and
+"Monitor-like mutual exclusion can be implemented by programming the
+manager to execute each request to completion before accepting another
+request."  To measure that comparison we need real monitors on the same
+substrate: one implicit lock per monitor, condition variables with
+``wait``/``signal``/``broadcast`` and Mesa (signal-and-continue)
+semantics, so waiters re-test their predicate in a loop.
+
+Usage — bodies are generators::
+
+    m = Monitor(kernel, "buf")
+    not_full = m.condition("not_full")
+
+    def deposit(item):
+        yield from m.acquire()
+        while count == size:
+            yield from not_full.wait()
+        ...
+        not_empty.signal()
+        yield from m.release()
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..errors import AlpsError
+from .semaphore import P, Semaphore, V
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+
+
+class Condition:
+    """A Mesa condition variable bound to a monitor."""
+
+    def __init__(self, monitor: "Monitor", name: str) -> None:
+        self.monitor = monitor
+        self.name = name
+        # Each waiter parks on its own binary semaphore, queued FIFO.
+        self._waiters: deque[Semaphore] = deque()
+        self.total_waits = 0
+        self.total_signals = 0
+
+    def wait(self):
+        """Atomically release the monitor and wait; re-acquires on wake.
+
+        Mesa semantics: between the signal and the re-acquisition other
+        processes may enter the monitor, so callers must re-test their
+        predicate in a ``while`` loop.
+        """
+        self.total_waits += 1
+        ticket = Semaphore(0, name=f"{self.name}.wait")
+        self._waiters.append(ticket)
+        yield from self.monitor.release()
+        yield P(ticket)
+        yield from self.monitor.acquire()
+
+    def signal(self):
+        """Wake the longest-waiting process (no-op if none). Non-blocking.
+
+        Returns a generator (yield from it) for symmetry with wait.
+        """
+        self.total_signals += 1
+        if self._waiters:
+            ticket = self._waiters.popleft()
+            yield V(ticket)
+
+    def broadcast(self):
+        """Wake every waiter."""
+        while self._waiters:
+            yield from self.signal()
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+
+class Monitor:
+    """A monitor: implicit mutual-exclusion lock plus condition variables."""
+
+    def __init__(self, kernel: "Kernel", name: str = "monitor") -> None:
+        self.kernel = kernel
+        self.name = name
+        self._lock = Semaphore(1, name=f"{name}.lock")
+        self._conditions: dict[str, Condition] = {}
+        self._holder = None
+        self.total_entries = 0
+
+    def condition(self, name: str) -> Condition:
+        """Create (or fetch) a named condition variable."""
+        if name not in self._conditions:
+            self._conditions[name] = Condition(self, name)
+        return self._conditions[name]
+
+    def acquire(self):
+        """Enter the monitor (generator; ``yield from``)."""
+        yield P(self._lock)
+        self.total_entries += 1
+
+    def release(self):
+        """Leave the monitor."""
+        if self._lock.value != 0:
+            raise AlpsError(f"{self.name}: release without acquire")
+        yield V(self._lock)
+
+    def critical(self, body_gen):
+        """Run a generator body inside the monitor (acquire/release)."""
+        yield from self.acquire()
+        try:
+            result = yield from body_gen
+        finally:
+            # Note: generators interrupted by kernel-raised exceptions
+            # still release, keeping the monitor usable.
+            yield from self.release()
+        return result

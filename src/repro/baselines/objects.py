@@ -1,0 +1,273 @@
+"""Baseline implementations of the paper's example resources.
+
+These are the "before" pictures for §1's critique: the same bounded
+buffer and readers–writers database, programmed with semaphores,
+monitors, serializers and path expressions on the identical kernel.  The
+scheduling logic is *scattered across the procedures* (each body delays
+itself), which is exactly the structure the manager centralizes.
+
+Benchmarks E1/E2/E10 run these head-to-head against the
+:mod:`repro.stdlib` manager versions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..kernel.syscalls import Charge
+from .monitor import Monitor
+from .path_expressions import compile_path
+from .semaphore import P, Semaphore, V
+from .serializer import Serializer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+
+
+class SemaphoreBuffer:
+    """Bounded buffer via the classic three-semaphore recipe."""
+
+    def __init__(self, kernel: "Kernel", size: int = 8, work: int = 0) -> None:
+        self.size = size
+        self.work = work
+        self.buf: list[Any] = [None] * size
+        self.inptr = 0
+        self.outptr = 0
+        self.empty = Semaphore(size, name="empty")
+        self.full = Semaphore(0, name="full")
+        self.mutex = Semaphore(1, name="mutex")
+
+    def deposit(self, message):
+        # Synchronization is inline in the procedure — the §1 scattering.
+        yield P(self.empty)
+        yield P(self.mutex)
+        if self.work:
+            yield Charge(self.work, label="deposit")
+        self.buf[self.inptr] = message
+        self.inptr = (self.inptr + 1) % self.size
+        yield V(self.mutex)
+        yield V(self.full)
+
+    def remove(self):
+        yield P(self.full)
+        yield P(self.mutex)
+        if self.work:
+            yield Charge(self.work, label="remove")
+        message = self.buf[self.outptr]
+        self.outptr = (self.outptr + 1) % self.size
+        yield V(self.mutex)
+        yield V(self.empty)
+        return message
+
+
+class MonitorBuffer:
+    """Bounded buffer as a Hoare/Mesa monitor with two conditions."""
+
+    def __init__(self, kernel: "Kernel", size: int = 8, work: int = 0) -> None:
+        self.size = size
+        self.work = work
+        self.buf: list[Any] = [None] * size
+        self.inptr = 0
+        self.outptr = 0
+        self.count = 0
+        self.monitor = Monitor(kernel, "buffer")
+        self.not_full = self.monitor.condition("not_full")
+        self.not_empty = self.monitor.condition("not_empty")
+
+    def deposit(self, message):
+        yield from self.monitor.acquire()
+        while self.count == self.size:  # Mesa: re-test after wake
+            yield from self.not_full.wait()
+        if self.work:
+            yield Charge(self.work, label="deposit")
+        self.buf[self.inptr] = message
+        self.inptr = (self.inptr + 1) % self.size
+        self.count += 1
+        yield from self.not_empty.signal()
+        yield from self.monitor.release()
+
+    def remove(self):
+        yield from self.monitor.acquire()
+        while self.count == 0:
+            yield from self.not_empty.wait()
+        if self.work:
+            yield Charge(self.work, label="remove")
+        message = self.buf[self.outptr]
+        self.outptr = (self.outptr + 1) % self.size
+        self.count -= 1
+        yield from self.not_full.signal()
+        yield from self.monitor.release()
+        return message
+
+
+class PathBuffer:
+    """Bounded buffer governed by ``path N:(deposit; remove) end``.
+
+    With the path expression carrying *all* synchronization, the bodies
+    are plain sequential procedures — the property the paper credits path
+    expressions with pioneering (§1).  One-slot semantics per sequence
+    instance: parallel deposits are allowed up to N ahead of removes.
+    """
+
+    def __init__(self, kernel: "Kernel", size: int = 8, work: int = 0) -> None:
+        self.size = size
+        self.work = work
+        self.items: list[Any] = []
+        self.taken: list[Any] = []
+        self.paths = compile_path(f"path {size}:(deposit; remove) end")
+        self.mutex = Semaphore(1, name="pathbuf.mutex")
+
+    def deposit(self, message):
+        yield from self.paths.before("deposit")
+        if self.work:
+            yield Charge(self.work, label="deposit")
+        yield P(self.mutex)
+        self.items.append(message)
+        yield V(self.mutex)
+        yield from self.paths.after("deposit")
+
+    def remove(self):
+        yield from self.paths.before("remove")
+        if self.work:
+            yield Charge(self.work, label="remove")
+        yield P(self.mutex)
+        message = self.items.pop(0)
+        self.taken.append(message)
+        yield V(self.mutex)
+        yield from self.paths.after("remove")
+        return message
+
+
+class MonitorReadersWriters:
+    """Readers–writers with a monitor (writer-priority-free variant)."""
+
+    def __init__(self, kernel: "Kernel", read_max: int = 4, read_work: int = 10, write_work: int = 20) -> None:
+        self.read_max = read_max
+        self.read_work = read_work
+        self.write_work = write_work
+        self.data: dict[Any, Any] = {}
+        self.monitor = Monitor(kernel, "rw")
+        self.ok_to_read = self.monitor.condition("ok_to_read")
+        self.ok_to_write = self.monitor.condition("ok_to_write")
+        self.readers = 0
+        self.writing = False
+        self.max_concurrent_readers = 0
+        self.exclusion_violations = 0
+
+    def read(self, key):
+        yield from self.monitor.acquire()
+        while self.writing or self.readers >= self.read_max:
+            yield from self.ok_to_read.wait()
+        self.readers += 1
+        self.max_concurrent_readers = max(self.max_concurrent_readers, self.readers)
+        yield from self.monitor.release()
+
+        if self.writing:
+            self.exclusion_violations += 1
+        if self.read_work:
+            yield Charge(self.read_work, label="read")
+        value = self.data.get(key)
+
+        yield from self.monitor.acquire()
+        self.readers -= 1
+        if self.readers == 0:
+            yield from self.ok_to_write.signal()
+        yield from self.ok_to_read.signal()
+        yield from self.monitor.release()
+        return value
+
+    def write(self, key, value):
+        yield from self.monitor.acquire()
+        while self.writing or self.readers > 0:
+            yield from self.ok_to_write.wait()
+        self.writing = True
+        yield from self.monitor.release()
+
+        if self.readers:
+            self.exclusion_violations += 1
+        if self.write_work:
+            yield Charge(self.write_work, label="write")
+        self.data[key] = value
+
+        yield from self.monitor.acquire()
+        self.writing = False
+        yield from self.ok_to_write.signal()
+        yield from self.ok_to_read.broadcast()
+        yield from self.monitor.release()
+
+
+class SerializerReadersWriters:
+    """Readers–writers with a serializer (the §1 'facility sought')."""
+
+    def __init__(self, kernel: "Kernel", read_work: int = 10, write_work: int = 20) -> None:
+        self.read_work = read_work
+        self.write_work = write_work
+        self.data: dict[Any, Any] = {}
+        self.s = Serializer(kernel, "rw")
+        self.readers = self.s.crowd("readers")
+        self.writers = self.s.crowd("writers")
+        self.read_q = self.s.queue("read_q", priority=0)
+        self.write_q = self.s.queue("write_q", priority=1)
+
+    def read(self, key):
+        yield from self.s.enter()
+        yield from self.s.enqueue(self.read_q, lambda: self.writers.empty)
+
+        def body():
+            if self.read_work:
+                yield Charge(self.read_work, label="read")
+            return self.data.get(key)
+
+        value = yield from self.s.join_crowd(self.readers, body())
+        yield from self.s.leave()
+        return value
+
+    def write(self, key, value):
+        yield from self.s.enter()
+        yield from self.s.enqueue(
+            self.write_q, lambda: self.writers.empty and self.readers.empty
+        )
+
+        def body():
+            if self.write_work:
+                yield Charge(self.write_work, label="write")
+            self.data[key] = value
+
+        yield from self.s.join_crowd(self.writers, body())
+        yield from self.s.leave()
+
+
+class PathReadersWriters:
+    """Readers–writers via ``path 1:([read], write) end``."""
+
+    def __init__(self, kernel: "Kernel", read_work: int = 10, write_work: int = 20) -> None:
+        self.read_work = read_work
+        self.write_work = write_work
+        self.data: dict[Any, Any] = {}
+        self.paths = compile_path("path 1:([read], write) end")
+        self.active_readers = 0
+        self.active_writers = 0
+        self.exclusion_violations = 0
+
+    def read(self, key):
+        yield from self.paths.before("read")
+        self.active_readers += 1
+        if self.active_writers:
+            self.exclusion_violations += 1
+        if self.read_work:
+            yield Charge(self.read_work, label="read")
+        value = self.data.get(key)
+        self.active_readers -= 1
+        yield from self.paths.after("read")
+        return value
+
+    def write(self, key, value):
+        yield from self.paths.before("write")
+        self.active_writers += 1
+        if self.active_writers > 1 or self.active_readers:
+            self.exclusion_violations += 1
+        if self.write_work:
+            yield Charge(self.write_work, label="write")
+        self.data[key] = value
+        self.active_writers -= 1
+        yield from self.paths.after("write")

@@ -1,0 +1,102 @@
+"""Ada-style rendezvous tasks — the nested-call comparison of §2.3.
+
+"Deadlock can be avoided because X's manager can be programmed such that
+after starting the execution of P it can be ready to accept calls to R.
+Note that DP, Ada and SR suffer from the nested calls problem."
+
+An :class:`AdaTask` executes each accepted entry *inside the server task
+itself* — while serving a call it cannot accept another.  Benchmark E8
+builds two tasks with the paper's X.P → Y.Q → X.R call chain and shows
+the rendezvous version deadlocking (detected by the kernel) where the
+ALPS manager version completes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..channels.channel import Channel, Receive, ReceiveGuard, Send
+from ..errors import CallError
+from ..kernel.syscalls import Select
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+    from ..kernel.process import Process
+
+
+class EntryRequest:
+    """One pending rendezvous: arguments plus the reply channel."""
+
+    __slots__ = ("entry", "args", "reply")
+
+    def __init__(self, entry: str, args: tuple, reply: Channel) -> None:
+        self.entry = entry
+        self.args = args
+        self.reply = reply
+
+
+class AdaTask:
+    """A server task with named entries and synchronous rendezvous.
+
+    The server body (a generator function receiving the task) typically
+    loops::
+
+        def server(task):
+            while True:
+                req = yield task.accept("p", "q")
+                ...compute...
+                yield task.reply(req, result)
+
+    Callers invoke ``result = yield from task.call("p", args...)``.
+    """
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        entries: list[str],
+        server: Callable[["AdaTask"], Any] | None = None,
+        name: str = "task",
+    ) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.entries: dict[str, Channel] = {
+            entry: Channel(name=f"{name}.{entry}") for entry in entries
+        }
+        self.server_process: "Process | None" = None
+        if server is not None:
+            self.server_process = kernel.spawn(
+                server, self, name=f"{name}.server", daemon=True
+            )
+
+    # -- caller side -----------------------------------------------------
+
+    def call(self, entry: str, *args: Any):
+        """Synchronous entry call (generator; ``yield from``)."""
+        channel = self.entries.get(entry)
+        if channel is None:
+            raise CallError(f"{self.name} has no entry {entry!r}")
+        reply = Channel(name=f"{self.name}.{entry}.reply")
+        yield Send(channel, EntryRequest(entry, args, reply))
+        return (yield Receive(reply))
+
+    # -- server side ------------------------------------------------------
+
+    def accept(self, *entries: str, when: Callable[..., bool] | None = None) -> Select:
+        """Selective accept over the named entries; returns the request."""
+        guards = []
+        for entry in entries:
+            channel = self.entries.get(entry)
+            if channel is None:
+                raise CallError(f"{self.name} has no entry {entry!r}")
+            guards.append(ReceiveGuard(channel, when=when))
+        select = Select(*guards)
+        select.unwrap = True
+        return select
+
+    def pending(self, entry: str) -> int:
+        """The COUNT attribute: queued callers on an entry."""
+        return len(self.entries[entry])
+
+    def reply(self, request: EntryRequest, result: Any = None) -> Send:
+        """Complete the rendezvous, releasing the caller."""
+        return Send(request.reply, result)

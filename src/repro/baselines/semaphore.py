@@ -1,0 +1,97 @@
+"""Counting semaphores on the ALPS kernel.
+
+The paper's §1 argument starts here: "Most object oriented systems
+implement synchronization and scheduling for entry calls using semaphores
+or conditional critical regions. ... This approach has the drawback that
+the scheduling algorithm gets scattered across the various procedures of
+the object."  The baseline buffer/readers-writers implementations in
+:mod:`repro.baselines` exhibit exactly that scattering; benchmark E1/E10
+compare them against the manager versions.
+
+``P`` blocks until a unit is available (FIFO); ``V`` releases one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..errors import AlpsError
+from ..kernel.syscalls import Select, Syscall
+from ..kernel.waiting import Guard, Ready, Waitable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+    from ..kernel.process import Process
+
+
+class Semaphore(Waitable):
+    """A counting semaphore with FIFO wakeup."""
+
+    def __init__(self, value: int = 0, name: str = "sem") -> None:
+        super().__init__()
+        if value < 0:
+            raise AlpsError(f"semaphore initial value must be >= 0, got {value}")
+        self.value = value
+        self.name = name
+        #: Lifetime counters.
+        self.total_p = 0
+        self.total_v = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Semaphore {self.name}={self.value}>"
+
+
+class PGuard(Guard):
+    """Guard form of ``P``: ready when the semaphore is positive."""
+
+    def __init__(self, sem: Semaphore, pri: object = None) -> None:
+        self.sem = sem
+        self.pri = pri
+
+    def poll(self, kernel: "Kernel") -> Ready | None:
+        return Ready(self.sem) if self.sem.value > 0 else None
+
+    def commit(self, kernel: "Kernel", proc: "Process", ready: Ready) -> Semaphore:
+        self.sem.value -= 1
+        self.sem.total_p += 1
+        return self.sem
+
+    def waitables(self) -> Iterable[Waitable]:
+        return (self.sem,)
+
+    def describe(self) -> str:
+        return f"P({self.sem.name})"
+
+
+def P(sem: Semaphore) -> Select:
+    """Blocking ``P`` (wait/down): ``yield P(sem)``."""
+    select = Select(PGuard(sem))
+    select.unwrap = True
+    return select
+
+
+class V(Syscall):
+    """``V`` (signal/up): never blocks."""
+
+    __slots__ = ("sem",)
+
+    def __init__(self, sem: Semaphore) -> None:
+        self.sem = sem
+
+    def handle(self, kernel: "Kernel", proc: "Process", cost: int) -> None:
+        self.sem.value += 1
+        self.sem.total_v += 1
+        kernel.schedule_resume(proc, None, cost=cost)
+        kernel.notify(self.sem)
+
+
+def p_all(*sems: Semaphore):
+    """Acquire several semaphores in order (helper generator)."""
+    for sem in sems:
+        yield P(sem)
+
+
+def v_all(*sems: Semaphore):
+    """Release several semaphores in order (helper generator)."""
+    for sem in sems:
+        yield V(sem)

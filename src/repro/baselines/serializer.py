@@ -1,0 +1,149 @@
+"""Serializers (Atkinson & Hewitt, 1979) on the ALPS kernel.
+
+§1: "An ALPS object is a resource protected by the manager.  The manager
+can be programmed to allow multiple users to access the resource
+simultaneously - a facility sought in the design of the serializer
+mechanism."  A serializer extends a monitor with *queues* guarded by
+conditions and *crowds*: possession of the serializer is released while a
+process waits in a queue or runs inside a crowd, and events (enter, queue
+head eligible, crowd exit) re-evaluate the queues in priority order.
+
+API (bodies are generators)::
+
+    s = Serializer(kernel, "db")
+    readers, writers = s.crowd("readers"), s.crowd("writers")
+    read_q, write_q = s.queue("read_q"), s.queue("write_q")
+
+    def read(key):
+        yield from s.enter()
+        yield from s.enqueue(read_q, lambda: writers.empty)
+        result = yield from s.join_crowd(readers, body())
+        yield from s.leave()
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import AlpsError
+from .semaphore import P, Semaphore, V
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+
+
+class Crowd:
+    """A set of processes concurrently using the resource."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.peak = 0
+
+    @property
+    def empty(self) -> bool:
+        return self.count == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Crowd {self.name} count={self.count}>"
+
+
+class SerializerQueue:
+    """A FIFO queue of processes waiting for a guard to open."""
+
+    def __init__(self, name: str, priority: int = 0) -> None:
+        self.name = name
+        #: Smaller priority = evaluated earlier on each event.
+        self.priority = priority
+        self._entries: deque[tuple[Semaphore, Callable[[], bool]]] = deque()
+        self.total_enqueues = 0
+
+    @property
+    def waiting(self) -> int:
+        return len(self._entries)
+
+    def head_ready(self) -> bool:
+        if not self._entries:
+            return False
+        _ticket, guard = self._entries[0]
+        return bool(guard())
+
+
+class Serializer:
+    """The serializer: exclusive core, queues, and crowds."""
+
+    def __init__(self, kernel: "Kernel", name: str = "serializer") -> None:
+        self.kernel = kernel
+        self.name = name
+        self._lock = Semaphore(1, name=f"{name}.lock")
+        self._queues: list[SerializerQueue] = []
+        self._crowds: dict[str, Crowd] = {}
+
+    def queue(self, name: str, priority: int = 0) -> SerializerQueue:
+        q = SerializerQueue(name, priority)
+        self._queues.append(q)
+        self._queues.sort(key=lambda x: x.priority)
+        return q
+
+    def crowd(self, name: str) -> Crowd:
+        if name not in self._crowds:
+            self._crowds[name] = Crowd(name)
+        return self._crowds[name]
+
+    # -- possession ----------------------------------------------------
+
+    def enter(self):
+        """Gain possession of the serializer."""
+        yield P(self._lock)
+
+    def leave(self):
+        """Release possession, or hand it to an eligible queue head.
+
+        If some queue's head guard is open, possession transfers directly
+        to that waiter (the lock is never released in between), which
+        preserves FIFO-within-queue and priority-across-queues semantics;
+        otherwise the lock is freed.
+        """
+        for q in self._queues:
+            if q.head_ready():
+                ticket, _guard = q._entries.popleft()
+                yield V(ticket)  # hand possession to the waiter
+                return
+        yield V(self._lock)
+
+    # -- queues ----------------------------------------------------------
+
+    def enqueue(self, q: SerializerQueue, guard: Callable[[], bool]):
+        """Wait in ``q`` until at the head with ``guard()`` true.
+
+        Possession is released while waiting (the defining difference
+        from a monitor's condition wait: guards are re-evaluated by the
+        serializer on every event, the waiter does not poll).
+        """
+        q.total_enqueues += 1
+        if not q._entries and guard():
+            return  # guard open and queue empty: pass straight through
+        ticket = Semaphore(0, name=f"{q.name}.ticket")
+        q._entries.append((ticket, guard))
+        yield from self.leave()
+        yield P(ticket)
+        # Possession was handed to us by _service_queues.
+
+    # -- crowds ----------------------------------------------------------
+
+    def join_crowd(self, crowd: Crowd, body_gen):
+        """Run ``body_gen`` inside ``crowd``, without possession.
+
+        join → release → body runs concurrently with others → re-enter →
+        leave crowd.  Returns the body's result.
+        """
+        crowd.count += 1
+        crowd.peak = max(crowd.peak, crowd.count)
+        yield from self.leave()
+        try:
+            result = yield from body_gen
+        finally:
+            yield from self.enter()
+            crowd.count -= 1
+        return result

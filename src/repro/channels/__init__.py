@@ -1,0 +1,16 @@
+"""Asynchronous typed channels (§2.1.2) and composition helpers."""
+
+from .channel import Channel, Receive, ReceiveGuard, Send, TryReceive
+from .ports import Mailbox, broadcast, channel_array, channel_matrix
+
+__all__ = [
+    "Channel",
+    "Send",
+    "Receive",
+    "TryReceive",
+    "ReceiveGuard",
+    "channel_array",
+    "channel_matrix",
+    "broadcast",
+    "Mailbox",
+]

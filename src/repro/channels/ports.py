@@ -1,0 +1,67 @@
+"""Channel composition helpers.
+
+The paper allows "channel variables ... to compose arbitrary data
+structures (e.g., arrays of channels)" and channels to be passed as
+parameters and message values.  These helpers build the common shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..errors import ChannelError
+from .channel import Channel, Send
+
+
+def channel_array(
+    count: int,
+    types: Sequence[type | None] | None = None,
+    name: str = "chan",
+    capacity: int | None = None,
+) -> list[Channel]:
+    """Create ``count`` channels named ``name[0] .. name[count-1]``."""
+    if count < 0:
+        raise ChannelError(f"channel array size must be >= 0, got {count}")
+    return [
+        Channel(types=types, capacity=capacity, name=f"{name}[{i}]")
+        for i in range(count)
+    ]
+
+
+def channel_matrix(
+    rows: int,
+    cols: int,
+    types: Sequence[type | None] | None = None,
+    name: str = "chan",
+) -> list[list[Channel]]:
+    """A rows x cols grid of channels (e.g. all-pairs communication)."""
+    return [
+        [Channel(types=types, name=f"{name}[{r}][{c}]") for c in range(cols)]
+        for r in range(rows)
+    ]
+
+
+def broadcast(channels: Sequence[Channel], *values: Any):
+    """Process body fragment: send ``values`` on every channel.
+
+    Usage: ``yield from broadcast(outputs, item)``.
+    """
+    for channel in channels:
+        yield Send(channel, *values)
+
+
+class Mailbox:
+    """A request/reply pair: the idiom for talking to an executing entry.
+
+    §2.2: "A user can also communicate with an executing entry procedure
+    using messages."  A Mailbox bundles the two directions; pass it (it is
+    a first-class value) as a call parameter.
+    """
+
+    def __init__(self, name: str = "mailbox") -> None:
+        self.request = Channel(name=f"{name}.request")
+        self.reply = Channel(name=f"{name}.reply")
+
+    def close(self) -> None:
+        self.request.close()
+        self.reply.close()

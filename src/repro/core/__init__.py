@@ -1,0 +1,67 @@
+"""The ALPS object model: managers, hidden procedure arrays, call protocol."""
+
+from .calls import Call, CallState
+from .combining import Combiner, combine_finishes
+from .entry import EntrySpec, Intercept, ObjectDefinition, entry, icpt, local
+from .manager import ManagerSpec, manager_process
+from .monitoring import (
+    LatencySummary,
+    max_overlap,
+    queue_times,
+    response_times,
+    service_intervals,
+    summarize,
+    throughput,
+)
+from .object_model import AlpsObject, BoundEntry
+from .pool import DYNAMIC, PoolConfig, ServerPool
+from .primitives import (
+    AcceptGuard,
+    AwaitGuard,
+    EntryCall,
+    Finish,
+    Start,
+    WhenGuard,
+    accept,
+    await_call,
+    execute_call,
+)
+from .select import loop, par_range
+
+__all__ = [
+    "AlpsObject",
+    "BoundEntry",
+    "entry",
+    "local",
+    "icpt",
+    "Intercept",
+    "EntrySpec",
+    "ObjectDefinition",
+    "manager_process",
+    "ManagerSpec",
+    "Call",
+    "CallState",
+    "EntryCall",
+    "AcceptGuard",
+    "AwaitGuard",
+    "WhenGuard",
+    "Start",
+    "Finish",
+    "accept",
+    "await_call",
+    "execute_call",
+    "Combiner",
+    "combine_finishes",
+    "PoolConfig",
+    "ServerPool",
+    "DYNAMIC",
+    "par_range",
+    "loop",
+    "LatencySummary",
+    "summarize",
+    "response_times",
+    "queue_times",
+    "throughput",
+    "max_overlap",
+    "service_intervals",
+]

@@ -1,0 +1,161 @@
+"""Entry-call records and their life cycle.
+
+Every invocation of an entry procedure is reified as a :class:`Call` that
+moves through the protocol of §2.3:
+
+``PENDING`` (issued, waiting to be attached to a procedure-array slot) →
+``ATTACHED`` (bound to ``P[i]``, visible to ``accept P[i]``) →
+``ACCEPTED`` (manager rendezvoused, intercepted parameters transferred) →
+``STARTED`` (body executing asynchronously) →
+``BODY_DONE`` (body ready to terminate, visible to ``await P[i]``) →
+``AWAITED`` (manager received intercepted results) →
+``DONE`` (manager ``finish``ed; caller resumed with results).
+
+Combining (§2.7) short-circuits: ``ACCEPTED → DONE`` with the manager
+fabricating all results.  Non-intercepted entries skip the manager
+entirely: ``PENDING → STARTED → DONE``.
+
+Timestamps for every transition are recorded so benchmarks can report
+response time, queueing delay and service time without extra plumbing.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any
+
+from ..errors import ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.process import Process
+    from .entry import EntrySpec
+
+
+class CallState(enum.Enum):
+    PENDING = "pending"
+    ATTACHED = "attached"
+    ACCEPTED = "accepted"
+    STARTED = "started"
+    BODY_DONE = "body_done"
+    AWAITED = "awaited"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class Call:
+    """One invocation of an entry (or intercepted local) procedure."""
+
+    _counter = 0
+
+    __slots__ = (
+        "call_id",
+        "obj",
+        "spec",
+        "args",
+        "caller",
+        "state",
+        "slot",
+        "hidden_args",
+        "body_results",
+        "body_process",
+        "combined",
+        "issued_at",
+        "attached_at",
+        "accepted_at",
+        "started_at",
+        "body_done_at",
+        "finished_at",
+        "response_delay",
+    )
+
+    def __init__(self, obj: Any, spec: "EntrySpec", args: tuple, caller: "Process") -> None:
+        Call._counter += 1
+        self.call_id = Call._counter
+        self.obj = obj
+        self.spec = spec
+        #: Invocation parameters (the *definition* parameters only).
+        self.args = args
+        self.caller = caller
+        self.state = CallState.PENDING
+        #: Index into the hidden procedure array once attached, else None.
+        self.slot: int | None = None
+        #: Hidden parameters supplied by the manager at ``start`` (§2.8).
+        self.hidden_args: tuple = ()
+        #: Full normalized result tuple produced by the body
+        #: (definition results then hidden results).
+        self.body_results: tuple | None = None
+        self.body_process: "Process | None" = None
+        #: True when the manager finished this call without starting it.
+        self.combined = False
+        self.issued_at: int | None = None
+        self.attached_at: int | None = None
+        self.accepted_at: int | None = None
+        self.started_at: int | None = None
+        self.body_done_at: int | None = None
+        self.finished_at: int | None = None
+        #: Extra network delay to apply when resuming the caller (set by
+        #: the RPC layer for remote calls).
+        self.response_delay = 0
+
+    # -- views used by the manager ---------------------------------------
+
+    @property
+    def entry(self) -> str:
+        """Name of the invoked procedure."""
+        return self.spec.name
+
+    @property
+    def intercepted_args(self) -> tuple:
+        """The initial parameter subsequence the manager intercepts (§2.6)."""
+        return self.args[: self.spec.intercept.params]
+
+    @property
+    def intercepted_results(self) -> tuple:
+        """The initial result subsequence the manager intercepts (§2.6)."""
+        if self.body_results is None:
+            raise ProtocolError(
+                f"call #{self.call_id} to {self.entry}: results not available "
+                f"before the body terminates"
+            )
+        return self.body_results[: self.spec.intercept.results]
+
+    @property
+    def hidden_results(self) -> tuple:
+        """Results beyond the definition's result list (§2.8)."""
+        if self.body_results is None:
+            raise ProtocolError(
+                f"call #{self.call_id} to {self.entry}: results not available "
+                f"before the body terminates"
+            )
+        return self.body_results[self.spec.returns :]
+
+    # -- metrics -----------------------------------------------------------
+
+    @property
+    def response_time(self) -> int | None:
+        """Virtual ticks from issue to completion (None if unfinished)."""
+        if self.issued_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.issued_at
+
+    @property
+    def queue_time(self) -> int | None:
+        """Ticks spent before the manager accepted the call."""
+        if self.issued_at is None or self.accepted_at is None:
+            return None
+        return self.accepted_at - self.issued_at
+
+    def _expect_state(self, *allowed: CallState) -> None:
+        if self.state not in allowed:
+            names = "/".join(s.value for s in allowed)
+            raise ProtocolError(
+                f"call #{self.call_id} to {self.entry}[{self.slot}] is "
+                f"{self.state.value}, expected {names}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Call #{self.call_id} {self.entry}"
+            + (f"[{self.slot}]" if self.slot is not None else "")
+            + f" {self.state.value}>"
+        )

@@ -1,0 +1,105 @@
+"""Manager declaration: the ``@manager_process`` decorator.
+
+The manager (§2.3) is "a special process called a manager which intercepts
+entry calls and implements the synchronization and scheduling for the
+object".  It is:
+
+* declared only in the implementation part — here, a decorated generator
+  method on the object class; callers never see it;
+* optional — objects without a manager start a server process implicitly
+  per call;
+* started implicitly after the object's initialization code runs;
+* executed at high priority by default ("the manager process should be
+  executed at a high priority compared to the other processes in the
+  object so that the manager is more receptive to entry calls").
+
+The ``intercepts`` clause lists the procedures whose calls are directed to
+the manager, optionally with the lengths of the intercepted parameter and
+result subsequences (§2.6): ``intercepts={"search": icpt(params=1,
+results=1)}`` is the paper's ``intercepts Search(String; String)``.
+Procedures not listed are started implicitly, "the flexibility to define
+entry procedures that are not intercepted by the manager (e.g. a procedure
+that returns the object's status)".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from ..errors import InterceptError, ObjectModelError
+from ..kernel.process import PRIORITY_MANAGER
+from .entry import Intercept
+
+
+class ManagerSpec:
+    """Static description of an object's manager process."""
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        intercepts: Mapping[str, Intercept] | Iterable[str],
+        priority: int = PRIORITY_MANAGER,
+    ) -> None:
+        self.fn = fn
+        self.priority = priority
+        if isinstance(intercepts, Mapping):
+            normalized = dict(intercepts)
+        else:
+            normalized = {name: Intercept() for name in intercepts}
+        for name, spec in normalized.items():
+            if not isinstance(spec, Intercept):
+                raise ObjectModelError(
+                    f"intercepts[{name!r}] must be an Intercept (use icpt()), "
+                    f"got {spec!r}"
+                )
+        self.intercepts: dict[str, Intercept] = normalized
+
+    def validate(self, entries: Mapping[str, Any], owner: str) -> None:
+        """Check the clause against the object's entry declarations."""
+        for name, intercept in self.intercepts.items():
+            spec = entries.get(name)
+            if spec is None:
+                raise InterceptError(
+                    f"{owner}: manager intercepts unknown procedure {name!r}"
+                )
+            if intercept.params > spec.params:
+                raise InterceptError(
+                    f"{owner}.{name}: intercepts {intercept.params} parameters "
+                    f"but the definition has only {spec.params} — the clause "
+                    f"must name an initial subsequence (§2.6)"
+                )
+            if intercept.results > spec.returns:
+                raise InterceptError(
+                    f"{owner}.{name}: intercepts {intercept.results} results "
+                    f"but the definition returns only {spec.returns}"
+                )
+        for name, spec in entries.items():
+            if (spec.hidden_params or spec.hidden_results) and name not in self.intercepts:
+                raise InterceptError(
+                    f"{owner}.{name}: hidden parameters/results require the "
+                    f"manager to intercept the procedure (§2.8)"
+                )
+
+
+def manager_process(
+    *,
+    intercepts: Mapping[str, Intercept] | Iterable[str],
+    priority: int = PRIORITY_MANAGER,
+) -> Callable[[Callable[[Any], Any]], ManagerSpec]:
+    """Declare the object's manager process.
+
+    Usage::
+
+        @manager_process(intercepts=["deposit", "remove"])
+        def mgr(self):
+            while True:
+                ...
+
+    The decorated method must be a generator; it is spawned as a daemon
+    process at object creation, after the initialization code.
+    """
+
+    def wrap(fn: Callable[[Any], Any]) -> ManagerSpec:
+        return ManagerSpec(fn, intercepts=intercepts, priority=priority)
+
+    return wrap

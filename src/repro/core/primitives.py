@@ -1,0 +1,393 @@
+"""The manager primitives: ``accept``, ``start``, ``await``, ``finish``,
+``execute`` (§2.3) and the entry-call syscall itself.
+
+``Accept`` and ``Await`` are *guards* — they appear inside ``select`` /
+``loop`` (§2.4) and may carry acceptance conditions (``when``) and
+run-time priorities (``pri``).  ``Start`` and ``Finish`` are syscalls the
+manager yields directly.  ``execute_call`` is the packaged
+``execute P(params, results)`` construct, equivalent to
+``start P(params); await P(results); finish P(results)``.
+
+Quantified guards: the paper writes ``(i:1..N) accept P[i] ...``.  Here an
+``Accept``/``Await`` with ``slot=None`` ranges over the whole hidden
+procedure array; ``slot=i`` names one element.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from ..errors import CallError, ProtocolError
+from ..kernel.process import ProcessState
+from ..kernel.syscalls import Select, Syscall
+from ..kernel.waiting import Guard, Ready, Waitable
+from .calls import Call, CallState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+    from ..kernel.process import Process
+    from .runtime import EntryRuntime
+
+
+def _runtime_of(source: Any, proc_name: str) -> "EntryRuntime":
+    """Resolve an entry runtime from an AlpsObject or a runtime itself."""
+    getter = getattr(source, "_entry_runtime", None)
+    if getter is not None:
+        return getter(proc_name)
+    raise ProtocolError(f"{source!r} is not an ALPS object")
+
+
+class EntryCall(Syscall):
+    """Syscall issued by callers: ``X.P(args)`` (§2.2).
+
+    Produced by attribute access on an :class:`~repro.core.object_model.AlpsObject`
+    — ``yield buffer.deposit(msg)``.  The caller blocks until the call is
+    finished (remote-procedure-call semantics); parallelism comes from
+    ``par`` (§2.1.1).
+    """
+
+    __slots__ = ("obj", "proc_name", "args", "from_inside")
+
+    def __init__(self, obj: Any, proc_name: str, args: tuple, from_inside: bool = False) -> None:
+        self.obj = obj
+        self.proc_name = proc_name
+        self.args = args
+        self.from_inside = from_inside
+
+    def handle(self, kernel: "Kernel", proc: "Process", cost: int) -> None:
+        try:
+            runtime = _runtime_of(self.obj, self.proc_name)
+        except ProtocolError as exc:
+            kernel.schedule_throw(proc, exc)
+            return
+        spec = runtime.spec
+        if not spec.exported and not self.from_inside:
+            kernel.schedule_throw(
+                proc,
+                CallError(
+                    f"{self.proc_name!r} is a local procedure of "
+                    f"{self.obj.alps_name} and cannot be called from outside"
+                ),
+            )
+            return
+        if len(self.args) != spec.params:
+            kernel.schedule_throw(proc, _arity(spec, len(self.args)))
+            return
+
+        call = Call(self.obj, spec, tuple(self.args), proc)
+        proc.state = ProcessState.BLOCKED
+        proc.blocked_on = f"call {self.obj.alps_name}.{self.proc_name}"
+        # The caller-perceived issue instant — before any network delay.
+        call.issued_at = kernel.clock.now
+
+        # Remote calls (objects placed on another node) acquire network
+        # latency on the request and response paths.
+        request_delay, response_delay = self.obj._call_latency(proc)
+        call.response_delay = response_delay
+
+        def deliver() -> None:
+            if spec.intercepted:
+                runtime.submit(call)
+            else:
+                # No manager interception: "a process is created
+                # implicitly and made to execute the procedure" (§2.3).
+                runtime.submit_unmanaged(call)
+
+        if request_delay:
+            kernel.post(kernel.clock.now + request_delay, deliver)
+        else:
+            deliver()
+
+
+def _arity(spec: Any, got: int) -> CallError:
+    return CallError(
+        f"{spec.name} expects {spec.params} argument(s), got {got}"
+    )
+
+
+class AcceptGuard(Guard):
+    """``accept P[i](params) when B pri E`` (§2.3, §2.4).
+
+    Ready when a call is attached (and unaccepted) on a matching slot and
+    the acceptance condition — evaluated on the intercepted parameter
+    subsequence — holds.  Committing performs the rendezvous: the manager
+    receives the :class:`~repro.core.calls.Call` handle carrying the
+    intercepted parameters.
+    """
+
+    def __init__(
+        self,
+        obj: Any,
+        proc_name: str,
+        slot: int | None = None,
+        when: Callable[..., bool] | None = None,
+        pri: Any = None,
+    ) -> None:
+        self.runtime = _runtime_of(obj, proc_name)
+        self.slot = slot
+        self.when = when
+        self.pri = pri
+        self.commit_cost = 0
+
+    def poll(self, kernel: "Kernel") -> Ready | None:
+        # A quantified guard (slot=None) with a pri clause ranges over the
+        # whole array: "(i:1..N) accept P[i] ... pri E" selects the
+        # candidate with the smallest priority value (§2.4).
+        if self.pri is not None and callable(self.pri):
+            calls = self.runtime.acceptable(self.slot, self.when, all_matches=True)
+            if not calls:
+                return None
+            call = min(calls, key=self.pri)
+        else:
+            call = self.runtime.acceptable(self.slot, self.when)
+            if call is None:
+                return None
+        return Ready(call, token=call)
+
+    def commit(self, kernel: "Kernel", proc: "Process", ready: Ready) -> Call:
+        call: Call = ready.token
+        call._expect_state(CallState.ATTACHED)
+        call.state = CallState.ACCEPTED
+        call.accepted_at = kernel.clock.now
+        kernel.stats.accepts += 1
+        self.commit_cost = kernel.costs.accept
+        return call
+
+    def waitables(self) -> Iterable[Waitable]:
+        return (self.runtime.arrival,)
+
+    def describe(self) -> str:
+        slot = "" if self.slot is None else f"[{self.slot}]"
+        return f"accept {self.runtime.spec.name}{slot}"
+
+
+class AwaitGuard(Guard):
+    """``await P[i](results) when B pri E`` (§2.3, §2.4).
+
+    Ready when a started body on a matching slot has terminated and the
+    condition — evaluated on the intercepted result subsequence — holds.
+    """
+
+    def __init__(
+        self,
+        obj: Any,
+        proc_name: str,
+        slot: int | None = None,
+        when: Callable[..., bool] | None = None,
+        pri: Any = None,
+        call: Call | None = None,
+    ) -> None:
+        self.runtime = _runtime_of(obj, proc_name)
+        self.slot = call.slot if call is not None else slot
+        self.only_call = call
+        self.when = when
+        self.pri = pri
+        self.commit_cost = 0
+
+    def poll(self, kernel: "Kernel") -> Ready | None:
+        if self.only_call is not None:
+            calls = self.runtime.awaitable(self.slot, self.when, all_matches=True)
+            if self.only_call not in calls:
+                return None
+            return Ready(self.only_call, token=self.only_call)
+        if self.pri is not None and callable(self.pri):
+            calls = self.runtime.awaitable(self.slot, self.when, all_matches=True)
+            if not calls:
+                return None
+            call = min(calls, key=self.pri)
+        else:
+            call = self.runtime.awaitable(self.slot, self.when)
+            if call is None:
+                return None
+        return Ready(call, token=call)
+
+    def commit(self, kernel: "Kernel", proc: "Process", ready: Ready) -> Call:
+        call: Call = ready.token
+        call._expect_state(CallState.BODY_DONE)
+        call.state = CallState.AWAITED
+        kernel.stats.awaits += 1
+        self.commit_cost = kernel.costs.await_
+        return call
+
+    def waitables(self) -> Iterable[Waitable]:
+        return (self.runtime.completion,)
+
+    def describe(self) -> str:
+        slot = "" if self.slot is None else f"[{self.slot}]"
+        return f"await {self.runtime.spec.name}{slot}"
+
+
+class WhenGuard(Guard):
+    """A pure boolean guard: ``when B => S`` with no communication.
+
+    Ready iff the condition evaluates true *at poll time*; infeasible
+    otherwise (a select consisting only of false ``when`` guards raises
+    ``GuardExhaustedError``, since nothing can ever wake it).
+    """
+
+    def __init__(self, condition: Callable[[], bool] | bool, value: Any = None, pri: Any = None) -> None:
+        self.condition = condition
+        self.value = value
+        self.pri = pri
+
+    def _holds(self) -> bool:
+        return bool(self.condition() if callable(self.condition) else self.condition)
+
+    def poll(self, kernel: "Kernel") -> Ready | None:
+        return Ready(self.value) if self._holds() else None
+
+    def commit(self, kernel: "Kernel", proc: "Process", ready: Ready) -> Any:
+        return ready.value
+
+    def feasible(self) -> bool:
+        # A boolean guard cannot become true while the selector is blocked
+        # (only the selector could change it), so false means infeasible.
+        return self._holds()
+
+    def describe(self) -> str:
+        return "when <cond>"
+
+
+class Start(Syscall):
+    """``start P[i](...)``: launch the accepted call's body asynchronously.
+
+    The manager supplies the intercepted parameters back (implicitly — the
+    call still carries them) plus any *hidden* parameters (§2.8).  The
+    manager does not block: "the asynchronous nature of the start
+    primitive allows the manager to accept other remote calls while the
+    execution of P is in progress" (§2.3).  Returns the call.
+    """
+
+    __slots__ = ("call", "hidden")
+
+    def __init__(self, call: Call, *hidden: Any) -> None:
+        self.call = call
+        self.hidden = hidden
+
+    def handle(self, kernel: "Kernel", proc: "Process", cost: int) -> None:
+        call = self.call
+        try:
+            call._expect_state(CallState.ACCEPTED)
+            if len(self.hidden) != call.spec.hidden_params:
+                raise ProtocolError(
+                    f"start {call.entry}: expected {call.spec.hidden_params} "
+                    f"hidden parameter(s), got {len(self.hidden)}"
+                )
+        except ProtocolError as exc:
+            kernel.schedule_throw(proc, exc)
+            return
+        call.hidden_args = tuple(self.hidden)
+        runtime = _runtime_of(call.obj, call.entry)
+        runtime.start_body(call, managed=True)
+        kernel.schedule_resume(proc, call, cost=cost + kernel.costs.start)
+
+
+class Finish(Syscall):
+    """``finish P[i](...)``: endorse termination and resume the caller.
+
+    For an awaited call the manager supplies the intercepted-result
+    subsequence (pass nothing to forward the body's own values unchanged);
+    the body's remaining results flow to the caller directly.  ``finish``
+    never blocks: "the caller of P is simply waiting for the results"
+    (§2.3).
+
+    Applied straight after ``accept`` — without any ``start`` — this is
+    request *combining* (§2.7): the manager fabricates the full result
+    list itself and no body ever runs.
+    """
+
+    __slots__ = ("call", "results", "_explicit")
+
+    def __init__(self, call: Call, *results: Any) -> None:
+        self.call = call
+        self.results = results
+        self._explicit = len(results) > 0
+
+    def handle(self, kernel: "Kernel", proc: "Process", cost: int) -> None:
+        call = self.call
+        runtime = _runtime_of(call.obj, call.entry)
+        spec = call.spec
+        try:
+            call._expect_state(CallState.AWAITED, CallState.ACCEPTED)
+            if call.state == CallState.AWAITED:
+                # Normal termination: manager overrides the intercepted
+                # prefix of the results (or forwards it untouched).
+                icpt = spec.intercept.results if spec.intercept else 0
+                if self._explicit and len(self.results) != icpt:
+                    raise ProtocolError(
+                        f"finish {call.entry}: manager must supply exactly "
+                        f"the {icpt} intercepted result(s), got {len(self.results)}"
+                    )
+                prefix = self.results if self._explicit else call.body_results[:icpt]
+                final = tuple(prefix) + tuple(call.body_results[icpt : spec.returns])
+            else:
+                # Combining: the call was never started; the manager is
+                # "responsible to generate all the results that the caller
+                # expects" (§2.7).
+                if len(self.results) != spec.returns:
+                    raise ProtocolError(
+                        f"finish-without-start {call.entry}: manager must "
+                        f"supply all {spec.returns} result(s), got "
+                        f"{len(self.results)}"
+                    )
+                final = tuple(self.results)
+                call.combined = True
+                kernel.stats.calls_combined += 1
+        except ProtocolError as exc:
+            kernel.schedule_throw(proc, exc)
+            return
+
+        was_started = call.state == CallState.AWAITED
+        call.state = CallState.DONE
+        call.finished_at = kernel.clock.now
+        kernel.stats.finishes += 1
+        kernel.stats.calls_completed += 1
+        if was_started:
+            runtime.pool.release(call)
+        runtime.detach(call)
+        runtime.record(call)
+        runtime.resume_caller(call, final)
+        kernel.schedule_resume(proc, None, cost=cost + kernel.costs.finish)
+
+
+# ----------------------------------------------------------------------
+# Sugar: single-guard selects and the packaged execute
+# ----------------------------------------------------------------------
+
+
+def accept(
+    obj: Any,
+    proc_name: str,
+    slot: int | None = None,
+    when: Callable[..., bool] | None = None,
+) -> Select:
+    """Blocking ``accept``: ``call = yield accept(self, "deposit")``."""
+    select = Select(AcceptGuard(obj, proc_name, slot=slot, when=when))
+    select.unwrap = True
+    return select
+
+
+def await_call(
+    obj: Any,
+    proc_name: str,
+    slot: int | None = None,
+    when: Callable[..., bool] | None = None,
+    call: Call | None = None,
+) -> Select:
+    """Blocking ``await``: ``done = yield await_call(self, "deposit")``."""
+    select = Select(AwaitGuard(obj, proc_name, slot=slot, when=when, call=call))
+    select.unwrap = True
+    return select
+
+
+def execute_call(call: Call, *hidden: Any):
+    """The packaged ``execute P(params, results)`` (§2.3).
+
+    Equivalent to ``start P; await P; finish P`` with results forwarded
+    unchanged.  Use as ``yield from execute_call(call)``; the manager
+    blocks until the body completes — monitor-style exclusion.
+    """
+    yield Start(call, *hidden)
+    done = yield await_call(call.obj, call.entry, call=call)
+    yield Finish(done)
+    return done

@@ -1,0 +1,281 @@
+"""Per-object, per-entry runtime state: the hidden procedure array.
+
+An :class:`EntryRuntime` owns the array slots of one entry procedure, the
+overflow queue of calls waiting to be attached ("if there are more
+requests than can be accommodated in the procedure array P, the remaining
+requests continue to wait", §2.5), and the two waitables managers block
+on: *arrival* (a call became attached, so ``accept`` may fire) and
+*completion* (a body became ready to terminate, so ``await`` may fire).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..errors import CallError, ProtocolError
+from ..kernel.waiting import Waitable
+from .calls import Call, CallState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+    from .entry import EntrySpec
+    from .pool import ServerPool
+
+
+class EntryRuntime:
+    """Runtime state for one entry procedure of one object instance."""
+
+    def __init__(self, obj: Any, spec: "EntrySpec", kernel: "Kernel", pool: "ServerPool") -> None:
+        self.obj = obj
+        self.spec = spec
+        self.kernel = kernel
+        self.pool = pool
+        self.array_size = spec.resolve_array(obj)
+        #: ``slots[i]`` is the call currently attached to ``P[i]`` (through
+        #: its whole accept→finish life), or None when the element is free.
+        self.slots: list[Call | None] = [None] * self.array_size
+        #: Calls waiting for a free array element.
+        self.waiting: deque[Call] = deque()
+        #: Notified when a call becomes ATTACHED (wakes ``accept`` guards).
+        self.arrival = Waitable()
+        #: Notified when a body reaches BODY_DONE (wakes ``await`` guards).
+        self.completion = Waitable()
+        #: Completed calls, retained when the object records statistics.
+        self.completed: list[Call] = []
+        self.record_calls = False
+
+    # ------------------------------------------------------------------
+    # Attachment (§2.5)
+    # ------------------------------------------------------------------
+
+    def pending_count(self) -> int:
+        """The paper's ``#P``: attached-but-not-accepted plus waiting."""
+        attached_unaccepted = sum(
+            1
+            for call in self.slots
+            if call is not None and call.state == CallState.ATTACHED
+        )
+        return attached_unaccepted + len(self.waiting)
+
+    def submit(self, call: Call) -> None:
+        """A new invocation arrived: attach it or queue it."""
+        if call.issued_at is None:
+            call.issued_at = self.kernel.clock.now
+        self.kernel.stats.calls_issued += 1
+        if not self.try_attach(call):
+            self.waiting.append(call)
+
+    def submit_unmanaged(self, call: Call) -> None:
+        """Invocation of a non-intercepted entry (§2.3).
+
+        No manager rendezvous: "each time an entry procedure is called a
+        process is created implicitly and made to execute the procedure".
+        Array slots still bound concurrency if the entry declares one.
+        """
+        if call.issued_at is None:
+            call.issued_at = self.kernel.clock.now
+        self.kernel.stats.calls_issued += 1
+        if self.spec.array is not None and not self.try_attach(call):
+            self.waiting.append(call)
+            return
+        self.start_body(call, managed=False)
+
+    def try_attach(self, call: Call) -> bool:
+        """Attach ``call`` to a free element, if any.
+
+        The element is "selected arbitrarily by the implementation"
+        (§2.5); under ``ordered`` arbitration the lowest free index is
+        used, under ``random`` a seeded-random free index.
+        """
+        free = [i for i, slot in enumerate(self.slots) if slot is None]
+        if not free:
+            return False
+        if self.kernel.arbitration == "random" and len(free) > 1:
+            index = self.kernel.rng.choice(free)
+        else:
+            index = free[0]
+        call.slot = index
+        call.state = CallState.ATTACHED
+        call.attached_at = self.kernel.clock.now
+        self.slots[index] = call
+        self.kernel.notify(self.arrival)
+        return True
+
+    def detach(self, call: Call) -> None:
+        """Free the call's slot and attach the next waiting call."""
+        assert call.slot is not None
+        if self.slots[call.slot] is not call:
+            raise ProtocolError(
+                f"{self.spec.name}[{call.slot}]: detach of a call that is "
+                f"not attached there"
+            )
+        self.slots[call.slot] = None
+        while self.waiting:
+            nxt = self.waiting.popleft()
+            if self.try_attach(nxt):
+                break
+            # No free slot after all (cannot happen: we just freed one).
+            self.waiting.appendleft(nxt)
+            break
+
+    # ------------------------------------------------------------------
+    # Guard views
+    # ------------------------------------------------------------------
+
+    def _matching(
+        self,
+        state: CallState,
+        slot: int | None,
+        when: Callable[..., bool] | None,
+        values: Callable[[Call], tuple],
+    ) -> list[Call]:
+        candidates = (
+            self.slots
+            if slot is None
+            else [self.slots[slot]] if 0 <= slot < self.array_size else []
+        )
+        out = []
+        for call in candidates:
+            if call is None or call.state != state:
+                continue
+            if when is None or when(*values(call)):
+                out.append(call)
+        return out
+
+    def acceptable(
+        self, slot: int | None, when: Callable[..., bool] | None, all_matches: bool = False
+    ) -> Any:
+        """ATTACHED call(s) matching ``slot`` and the acceptance condition.
+
+        ``when`` is evaluated on the intercepted-parameter subsequence —
+        the SR-style "receive into temporaries, then test" of §2.4.  A
+        quantified guard with a ``pri`` clause needs every candidate
+        (``all_matches=True``) to pick the minimum among them.
+        """
+        matches = self._matching(
+            CallState.ATTACHED, slot, when, lambda c: c.intercepted_args
+        )
+        if all_matches:
+            return matches
+        return matches[0] if matches else None
+
+    def awaitable(
+        self, slot: int | None, when: Callable[..., bool] | None, all_matches: bool = False
+    ) -> Any:
+        """BODY_DONE call(s) matching ``slot`` and the result condition."""
+        matches = self._matching(
+            CallState.BODY_DONE, slot, when, lambda c: c.intercepted_results
+        )
+        if all_matches:
+            return matches
+        return matches[0] if matches else None
+
+    # ------------------------------------------------------------------
+    # Body execution
+    # ------------------------------------------------------------------
+
+    def start_body(self, call: Call, managed: bool) -> None:
+        """Dispatch the body of ``call`` onto a server process.
+
+        ``managed`` bodies report BODY_DONE and wait for ``finish``;
+        unmanaged (non-intercepted) bodies deliver results directly.
+        """
+        runtime = self
+
+        def job():
+            try:
+                if runtime.spec.work:
+                    from ..kernel.syscalls import Charge
+
+                    yield Charge(runtime.spec.work, label=runtime.spec.name)
+                raw = runtime.spec.fn(runtime.obj, *call.args, *call.hidden_args)
+                if hasattr(raw, "send") and hasattr(raw, "throw"):
+                    raw = yield from raw
+                results = runtime.spec.normalize_results(raw)
+            except BaseException as exc:
+                # A failing body must not wedge the object: free the slot
+                # and worker, and re-raise the error in the caller.
+                runtime.pool.release(call)
+                if call.slot is not None:
+                    runtime.detach(call)
+                runtime.fail_caller(call, exc)
+                return
+            call.body_results = results
+            call.body_done_at = runtime.kernel.clock.now
+            if managed:
+                call.state = CallState.BODY_DONE
+                runtime.kernel.notify(runtime.completion)
+                # The server process conceptually lives until the manager
+                # executes finish (§2.3: "both the finish P(...) and P
+                # terminate together").  The finish primitive resumes the
+                # caller and releases the worker; this generator ends here
+                # but the pool slot stays occupied until release().
+            else:
+                runtime.complete_unmanaged(call)
+
+        call.state = CallState.STARTED
+        call.started_at = self.kernel.clock.now
+        self.kernel.stats.starts += 1
+        self.pool.dispatch(job, call)
+
+    def complete_unmanaged(self, call: Call) -> None:
+        """Finish a non-intercepted call: results flow straight back."""
+        call.state = CallState.DONE
+        call.finished_at = self.kernel.clock.now
+        self.kernel.stats.calls_completed += 1
+        self.pool.release(call)
+        if call.slot is not None:
+            self.detach(call)
+            # With no manager to accept them, newly attached waiting calls
+            # must be started here.
+            for queued in self.slots:
+                if queued is not None and queued.state == CallState.ATTACHED:
+                    self.start_body(queued, managed=False)
+        self.record(call)
+        self.resume_caller(call, call.body_results[: self.spec.returns])
+
+    def resume_caller(self, call: Call, results: tuple) -> None:
+        """Deliver ``results`` (definition results only) to the caller."""
+        value: Any
+        if self.spec.returns == 0:
+            value = None
+        elif self.spec.returns == 1:
+            value = results[0]
+        else:
+            value = tuple(results)
+        if call.response_delay:
+            kernel = self.kernel
+            # The caller-perceived completion includes the response leg.
+            if call.finished_at is not None:
+                call.finished_at += call.response_delay
+            kernel.post(
+                kernel.clock.now + call.response_delay,
+                lambda: kernel.schedule_resume(call.caller, value),
+                priority=call.caller.priority,
+            )
+        else:
+            self.kernel.schedule_resume(call.caller, value)
+
+    def fail_caller(self, call: Call, exc: BaseException) -> None:
+        """Propagate a body failure to the caller."""
+        call.state = CallState.FAILED
+        self.kernel.schedule_throw(call.caller, exc)
+
+    def record(self, call: Call) -> None:
+        if self.record_calls:
+            self.completed.append(call)
+
+    def describe(self) -> str:
+        return (
+            f"{self.spec.name}[1..{self.array_size}] "
+            f"attached={sum(1 for s in self.slots if s is not None)} "
+            f"waiting={len(self.waiting)}"
+        )
+
+
+def arity_error(spec: "EntrySpec", got: int) -> CallError:
+    return CallError(
+        f"{spec.name} expects {spec.params} argument(s) "
+        f"(plus {spec.hidden_params} hidden), got {got}"
+    )

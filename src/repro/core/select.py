@@ -1,0 +1,60 @@
+"""Select/loop conveniences (§2.4).
+
+The kernel's ``Select`` syscall is the alternative construct; the
+repetitive construct is simply a ``while True`` around it.  This module
+adds the pieces that make manager code read like the paper:
+
+* :func:`par_range` — ``par i = m to n do P(i) end par``;
+* :func:`loop` — drive a select repeatedly until a sentinel guard fires;
+* re-exports of every guard type so managers import from one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..channels.channel import ReceiveGuard
+from ..kernel.syscalls import Par, Select, SelectResult
+from ..kernel.timeouts import Timeout
+from .primitives import AcceptGuard, AwaitGuard, WhenGuard
+
+__all__ = [
+    "Select",
+    "SelectResult",
+    "AcceptGuard",
+    "AwaitGuard",
+    "ReceiveGuard",
+    "WhenGuard",
+    "Timeout",
+    "par_range",
+    "loop",
+]
+
+
+def par_range(m: int, n: int, fn: Callable[[int], Any], priority: int | None = None) -> Par:
+    """``par i = m to n do P(i) end par`` (§2.1.1) — inclusive bounds.
+
+    ``yield par_range(1, 4, lambda i: worker(i))`` runs ``worker(1)`` ..
+    ``worker(4)`` in parallel and returns their results as a list.
+    """
+    thunks = [(lambda i=i: fn(i)) for i in range(m, n + 1)]
+    if priority is None:
+        return Par(*thunks)
+    return Par(*thunks, priority=priority)
+
+
+def loop(*guards: Any, stop: Callable[[], bool] | None = None):
+    """The repetitive construct: repeatedly select until ``stop()`` holds.
+
+    A generator to be driven with ``yield from``; yields each
+    :class:`SelectResult` back to the caller's body via ``sink``-style
+    callbacks is *not* Pythonic, so instead managers normally write
+    ``while True: result = yield Select(...)`` directly.  ``loop`` exists
+    for simple cases::
+
+        yield from loop(g1, g2, stop=lambda: done)
+
+    where the guards' ``commit`` side effects do all the work.
+    """
+    while stop is None or not stop():
+        yield Select(*guards)

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the ALPS reproduction.
+
+Every error raised by the library derives from :class:`AlpsError` so that
+applications can catch library failures with a single ``except`` clause
+while still distinguishing programming errors (``TypeError``-like misuse of
+the DSL) from runtime conditions (deadlock, channel misuse).
+"""
+
+from __future__ import annotations
+
+
+class AlpsError(Exception):
+    """Base class for all errors raised by the ALPS reproduction."""
+
+
+class KernelError(AlpsError):
+    """Misuse of the kernel API (e.g. running a finished kernel)."""
+
+
+class DeadlockError(KernelError):
+    """Raised when no process can ever run again.
+
+    The kernel detects deadlock when the ready queue and the timer queue are
+    both empty while at least one process is still blocked.  The message
+    includes a dump of every blocked process and what it is waiting for, so
+    the failure is diagnosable from the exception alone.
+    """
+
+    def __init__(self, message: str, blocked: list | None = None) -> None:
+        super().__init__(message)
+        #: Snapshot of the blocked processes at detection time.
+        self.blocked = list(blocked or [])
+
+
+class ProcessError(KernelError):
+    """A lightweight process misbehaved (e.g. yielded a non-syscall)."""
+
+
+class ChannelError(AlpsError):
+    """Misuse of a channel (type arity mismatch, closed channel, ...)."""
+
+
+class ChannelTypeError(ChannelError):
+    """A message's arity or element types do not match the channel type."""
+
+
+class SelectError(AlpsError):
+    """Misuse of ``select``/``loop`` (no guards, all guards closed, ...)."""
+
+
+class GuardExhaustedError(SelectError):
+    """A ``select`` with no ``else`` has no guard that can ever become ready."""
+
+
+class ObjectModelError(AlpsError):
+    """Misuse of the ALPS object DSL (bad entry declaration, etc.)."""
+
+
+class InterceptError(ObjectModelError):
+    """An ``intercepts`` clause is inconsistent with the entry signatures."""
+
+
+class ProtocolError(AlpsError):
+    """The accept/start/await/finish protocol was violated.
+
+    Examples: ``start`` on a call that was never accepted, ``finish`` on a
+    call that is still executing, double ``accept`` of the same slot.
+    """
+
+
+class CallError(AlpsError):
+    """An entry call failed (unknown procedure, arity mismatch, ...)."""
+
+
+class PathExpressionError(AlpsError):
+    """A path expression failed to parse or was violated at run time."""
+
+
+class NetworkError(AlpsError):
+    """Misuse of the simulated network (unknown node, no route, ...)."""

@@ -1,0 +1,660 @@
+"""The ALPS kernel: a deterministic discrete-event scheduler for
+lightweight processes.
+
+This is our substitute for the run-time kernel the paper describes in §3/§4
+(implemented there in C on a 16-node transputer network).  Processes are
+generator coroutines; they interact with the kernel by yielding syscalls
+(:mod:`repro.kernel.syscalls`).  The kernel provides:
+
+* **priority scheduling** — events are dispatched in (time, priority, FIFO)
+  order, so a high-priority manager runs before same-instant entry bodies,
+  reproducing the paper's "the manager should execute at a higher priority
+  so that it is more receptive to entry calls";
+* **virtual time** — simulated work (``Charge``/``Delay``) advances a
+  virtual clock; with a finite :class:`~repro.kernel.cpu.CpuPool` work
+  contends for processors, with an infinite pool it overlaps freely;
+* **selective waiting** — the generic guard protocol under ``select``/
+  ``loop``, with run-time priorities and acceptance conditions;
+* **deadlock detection** — if the event queue drains while a non-daemon
+  process is blocked, a :class:`~repro.errors.DeadlockError` is raised with
+  a listing of who waits on what.
+
+Determinism: every run with the same seed and program replays the same
+interleaving.  Points the paper leaves to "the implementation" (arbitrary
+guard choice, arbitrary slot attachment) are governed by the
+``arbitration`` policy (``"ordered"`` or seeded ``"random"``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Iterable
+
+from ..errors import DeadlockError, GuardExhaustedError, KernelError, ProcessError
+from .clock import VirtualClock
+from .costs import DEFAULT, CostModel
+from .cpu import CpuPool, PriorityCpuScheduler
+from .process import (
+    PRIORITY_NORMAL,
+    Process,
+    ProcessState,
+    as_generator,
+    format_blocked,
+)
+from .stats import KernelStats
+from .syscalls import (
+    Charge,
+    Delay,
+    Join,
+    Kill,
+    Now,
+    Par,
+    Select,
+    SelectResult,
+    Self,
+    SetPriority,
+    Spawn,
+    Syscall,
+    Yield,
+)
+from .tracing import Trace
+from .waiting import Guard, Ready, Waitable
+
+
+class _PendingSelect:
+    """Bookkeeping for a process blocked in ``Select``."""
+
+    __slots__ = ("select", "guards", "registered", "poll_count")
+
+    def __init__(self, select: Select, guards: list[tuple[int, Guard]]) -> None:
+        self.select = select
+        #: Feasible (index, guard) pairs.
+        self.guards = guards
+        #: Waitables this process was registered on.
+        self.registered: list[Waitable] = []
+        #: Guard polls performed on behalf of this select while blocked.
+        self.poll_count = 0
+
+
+class Kernel:
+    """Deterministic virtual-time scheduler for lightweight processes.
+
+    Parameters
+    ----------
+    costs:
+        Tick charges for kernel events (:class:`~repro.kernel.costs.CostModel`).
+    num_cpus:
+        ``None`` for an unbounded machine (pure latency model) or a positive
+        integer for a finite machine where simulated work contends.
+    seed:
+        Seed for all "arbitrary" choices; same seed => same run.
+    arbitration:
+        ``"ordered"`` resolves arbitrary choices by textual/FIFO order,
+        ``"random"`` uses the seeded RNG (still deterministic per seed).
+    trace:
+        Enable event tracing (off by default; see
+        :class:`~repro.kernel.tracing.Trace`).
+    """
+
+    def __init__(
+        self,
+        costs: CostModel = DEFAULT,
+        num_cpus: int | None = None,
+        seed: int = 0,
+        arbitration: str = "ordered",
+        trace: bool = False,
+    ) -> None:
+        costs.validate()
+        if arbitration not in ("ordered", "random"):
+            raise KernelError(f"unknown arbitration policy {arbitration!r}")
+        self.costs = costs
+        self.cpus = CpuPool(None if num_cpus is None else num_cpus)
+        #: Priority-queued grant scheduler; only used for finite machines.
+        self.cpu_scheduler: PriorityCpuScheduler | None = (
+            None if num_cpus is None else PriorityCpuScheduler(num_cpus)
+        )
+        self.clock = VirtualClock()
+        self.rng = random.Random(seed)
+        self.arbitration = arbitration
+        self.trace = Trace(enabled=trace)
+        self.stats = KernelStats()
+
+        self._events: list[tuple[int, int, int, Any]] = []  # (time, prio, seq, item)
+        self._seq = 0
+        self._next_pid = 1
+        self._processes: dict[int, Process] = {}
+        self._pending_selects: dict[int, _PendingSelect] = {}
+        self._last_stepped: Process | None = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: str | None = None,
+        priority: int = PRIORITY_NORMAL,
+        lightweight: bool = True,
+        daemon: bool = False,
+        charge_to: Process | None = None,
+        **kwargs: Any,
+    ) -> Process:
+        """Create a process running ``fn(*args, **kwargs)``.
+
+        ``fn`` may be a generator function (the normal case) or a plain
+        function (run atomically at first dispatch).  The new process is
+        scheduled immediately at the current time; it actually runs when
+        its event reaches the front of the queue.
+        """
+        body = as_generator(fn, *args, **kwargs)
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = Process(
+            pid=pid,
+            name=name or getattr(fn, "__name__", "proc"),
+            body=body,
+            priority=priority,
+            lightweight=lightweight,
+            daemon=daemon,
+            created_at=self.clock.now,
+        )
+        self._processes[pid] = proc
+        self.stats.spawns += 1
+        if lightweight:
+            self.stats.lwp_spawns += 1
+        cost = self.costs.lwp_create if lightweight else self.costs.process_create
+        proc.state = ProcessState.READY
+        if cost and charge_to is not None:
+            # Creation cost delays the new process's first dispatch; the
+            # work is queued at the *creator's* priority.
+            self._after_cpu(cost, charge_to.priority, lambda: self._schedule_step(proc))
+        else:
+            self._schedule_step(proc)
+        self.trace.record(self.clock.now, "spawn", proc.name, pid=pid, priority=priority)
+        return proc
+
+    def process_count(self, alive_only: bool = True) -> int:
+        """Number of processes known to the kernel."""
+        if not alive_only:
+            return len(self._processes)
+        return sum(1 for p in self._processes.values() if p.alive)
+
+    def processes(self) -> list[Process]:
+        """Snapshot of all processes (alive and dead)."""
+        return list(self._processes.values())
+
+    # ------------------------------------------------------------------
+    # Event queue
+    # ------------------------------------------------------------------
+
+    def _push(self, when: int, priority: int, item: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (when, priority, self._seq, item))
+
+    def _schedule_step(self, proc: Process, at: int | None = None) -> None:
+        """Queue a dispatch of ``proc`` at time ``at`` (default: now)."""
+        when = self.clock.now if at is None else at
+        self._push(when, proc.priority, ("step", proc, proc.epoch))
+
+    def post(
+        self,
+        when: int,
+        callback: Callable[[], None],
+        priority: int = 0,
+        cancel: dict | None = None,
+    ) -> None:
+        """Run ``callback`` at absolute virtual time ``when``.
+
+        Used by timeout guards and network links.  Callbacks run at kernel
+        priority by default (before same-instant process steps).  If
+        ``cancel`` is given and ``cancel["cancelled"]`` is true when the
+        event surfaces, it is dropped without advancing the clock.
+        """
+        if when < self.clock.now:
+            raise KernelError(f"cannot post event in the past ({when} < {self.clock.now})")
+        self._push(when, priority, ("call", callback, cancel))
+
+    def schedule_resume(self, proc: Process, value: Any = None, cost: int = 0) -> None:
+        """Unblock ``proc``, delivering ``value`` from its pending syscall.
+
+        ``cost`` ticks of CPU are consumed first (queued by the process's
+        priority on a finite machine).
+        """
+        if not proc.alive:
+            return
+        proc.prepare_resume(value)
+        proc.state = ProcessState.READY
+        proc.blocked_on = None
+        proc.epoch += 1
+        if cost:
+            self._after_cpu(cost, proc.priority, lambda: self._schedule_step(proc))
+        else:
+            self._schedule_step(proc)
+
+    def schedule_throw(self, proc: Process, exc: BaseException) -> None:
+        """Unblock ``proc`` by raising ``exc`` inside it."""
+        if not proc.alive:
+            return
+        proc.prepare_throw(exc)
+        proc.state = ProcessState.READY
+        proc.blocked_on = None
+        proc.epoch += 1
+        self._schedule_step(proc)
+
+    def _after_cpu(self, ticks: int, priority: int, action: Callable[[], None]) -> None:
+        """Consume ``ticks`` of CPU, then run ``action``.
+
+        On an unbounded machine the work starts immediately; on a finite
+        machine it is granted CPUs by priority (smaller first), so a
+        high-priority manager's synchronization steps overtake queued
+        entry-body work — the paper's receptiveness argument (§1, §3).
+        """
+        if ticks <= 0:
+            action()
+            return
+        if self.cpu_scheduler is None:
+            _start, end = self.cpus.acquire(self.clock.now, ticks)
+            self.post(end, action, priority=priority)
+        else:
+            self.cpu_scheduler.submit(self, priority, ticks, action)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> KernelStats:
+        """Dispatch events until quiescence (or ``until`` / ``max_events``).
+
+        Returns the accumulated statistics.  Raises
+        :class:`~repro.errors.DeadlockError` if the system quiesces while a
+        non-daemon process is still blocked.  The kernel is resumable:
+        calling :meth:`run` again continues where the previous call
+        stopped.
+        """
+        if self._running:
+            raise KernelError("kernel.run() is not reentrant")
+        self._running = True
+        dispatched = 0
+        try:
+            while self._events:
+                if max_events is not None and dispatched >= max_events:
+                    return self.stats
+                when, _prio, _seq, item = self._events[0]
+                kind = item[0]
+                # Drop stale events *before* advancing the clock so that
+                # cancelled timers do not inflate the simulation end time.
+                if kind == "step":
+                    proc, epoch = item[1], item[2]
+                    if proc.epoch != epoch or not proc.alive:
+                        heapq.heappop(self._events)
+                        continue
+                else:  # "call"
+                    cancel = item[2]
+                    if cancel is not None and cancel.get("cancelled"):
+                        heapq.heappop(self._events)
+                        continue
+                if until is not None and when > until:
+                    self.clock.advance_to(until)
+                    return self.stats
+                heapq.heappop(self._events)
+                self.clock.advance_to(when)
+                dispatched += 1
+                if kind == "step":
+                    self._step_process(item[1])
+                else:
+                    item[1]()
+        finally:
+            self._running = False
+        # A bounded run (until/max_events) may legitimately drain the
+        # queue while callers intend to inject more work afterwards; only
+        # an unbounded run can conclude deadlock.
+        if until is None and max_events is None:
+            self._check_quiescence()
+        return self.stats
+
+    def run_process(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: str | None = None,
+        priority: int = PRIORITY_NORMAL,
+        until: int | None = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Convenience: spawn ``fn``, run to quiescence, return its result."""
+        proc = self.spawn(fn, *args, name=name, priority=priority, **kwargs)
+        self.run(until=until)
+        if proc.state == ProcessState.FAILED and proc.exception is not None:
+            raise proc.exception
+        if proc.alive:
+            raise KernelError(
+                f"run_process: {proc.name!r} did not finish "
+                f"(state={proc.state.value}, blocked_on={proc.blocked_on!r})"
+            )
+        return proc.result
+
+    def _check_quiescence(self) -> None:
+        blocked = [
+            p
+            for p in self._processes.values()
+            if p.alive and not p.daemon and p.state == ProcessState.BLOCKED
+        ]
+        if blocked:
+            raise DeadlockError(
+                "deadlock: no events pending but these processes are blocked:\n"
+                + format_blocked(blocked),
+                blocked=blocked,
+            )
+
+    # ------------------------------------------------------------------
+    # Process stepping and syscall dispatch
+    # ------------------------------------------------------------------
+
+    def _step_process(self, proc: Process) -> None:
+        if self._last_stepped is not proc:
+            self.stats.context_switches += 1
+            switch_cost = self.costs.context_switch
+        else:
+            switch_cost = 0
+        self._last_stepped = proc
+        proc.state = ProcessState.RUNNING
+        self.stats.resumptions += 1
+        try:
+            finished, payload = proc.step()
+        except BaseException as exc:
+            self._on_exit(proc)
+            if proc.exit_watchers:
+                for watcher in list(proc.exit_watchers):
+                    watcher(proc)
+                return
+            raise
+        if finished:
+            self._on_exit(proc)
+            for watcher in list(proc.exit_watchers):
+                watcher(proc)
+            return
+        self._dispatch_syscall(proc, payload, base_cost=switch_cost)
+
+    def _on_exit(self, proc: Process) -> None:
+        proc.finished_at = self.clock.now
+        self.stats.exits += 1
+        self.trace.record(
+            self.clock.now, "exit", proc.name, state=proc.state.value
+        )
+
+    def _dispatch_syscall(self, proc: Process, syscall: Any, base_cost: int = 0) -> None:
+        """Interpret one syscall yielded by ``proc``.
+
+        ``base_cost`` (context-switch charge) is folded into the cost of
+        whatever the syscall does.
+        """
+        cost = base_cost + self.costs.dispatch
+        if isinstance(syscall, Spawn):
+            child = self.spawn(
+                syscall.fn,
+                *syscall.args,
+                name=syscall.name,
+                priority=syscall.priority,
+                lightweight=syscall.lightweight,
+                charge_to=proc,
+                **syscall.kwargs,
+            )
+            self.schedule_resume(proc, child, cost=cost)
+        elif isinstance(syscall, Join):
+            self._do_join(proc, syscall.process, cost)
+        elif isinstance(syscall, Delay):
+            if syscall.ticks < 0:
+                self.schedule_throw(proc, KernelError("Delay ticks must be >= 0"))
+                return
+            proc.state = ProcessState.BLOCKED
+            proc.blocked_on = f"delay({syscall.ticks})"
+            proc.epoch += 1
+            epoch = proc.epoch
+            when = self.clock.now + syscall.ticks + cost
+
+            def wake() -> None:
+                if proc.alive and proc.epoch == epoch:
+                    proc.epoch += 1
+                    proc.state = ProcessState.READY
+                    proc.blocked_on = None
+                    proc.prepare_resume(None)
+                    self._schedule_step(proc)
+
+            self.post(when, wake, priority=proc.priority)
+        elif isinstance(syscall, Charge):
+            if syscall.ticks < 0:
+                self.schedule_throw(proc, KernelError("Charge ticks must be >= 0"))
+                return
+            self.stats.work_ticks += syscall.ticks
+            self.schedule_resume(proc, None, cost=cost + syscall.ticks)
+        elif isinstance(syscall, Select):
+            self._do_select(proc, syscall, cost)
+        elif isinstance(syscall, Par):
+            self._do_par(proc, syscall, cost)
+        elif isinstance(syscall, Yield):
+            self.schedule_resume(proc, None, cost=cost)
+        elif isinstance(syscall, Now):
+            self.schedule_resume(proc, self.clock.now, cost=cost)
+        elif isinstance(syscall, Self):
+            self.schedule_resume(proc, proc, cost=cost)
+        elif isinstance(syscall, Kill):
+            target = syscall.process
+            was_alive = target.alive
+            if was_alive:
+                self._cancel_pending_select(target)
+                target.kill()
+                self._on_exit(target)
+                for watcher in list(target.exit_watchers):
+                    watcher(target)
+            self.schedule_resume(proc, was_alive, cost=cost)
+        elif isinstance(syscall, SetPriority):
+            target = syscall.process or proc
+            target.priority = syscall.priority
+            self.schedule_resume(proc, None, cost=cost)
+        elif hasattr(syscall, "handle"):
+            # Extension point: channels, entry calls, manager primitives.
+            syscall.handle(self, proc, cost)
+        else:
+            self.schedule_throw(
+                proc,
+                ProcessError(
+                    f"{proc.name!r} yielded {syscall!r}, which is not a syscall"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Join / Par
+    # ------------------------------------------------------------------
+
+    def _do_join(self, proc: Process, target: Process, cost: int) -> None:
+        if target.state == ProcessState.DONE:
+            self.schedule_resume(proc, target.result, cost=cost)
+            return
+        if target.state == ProcessState.FAILED:
+            assert target.exception is not None
+            self.schedule_throw(proc, target.exception)
+            return
+        if target.state == ProcessState.KILLED:
+            self.schedule_throw(
+                proc, ProcessError(f"join: {target.name!r} was killed")
+            )
+            return
+
+        proc.state = ProcessState.BLOCKED
+        proc.blocked_on = f"join({target.name})"
+
+        def on_exit(dead: Process) -> None:
+            if dead.state == ProcessState.FAILED and dead.exception is not None:
+                self.schedule_throw(proc, dead.exception)
+            elif dead.state == ProcessState.KILLED:
+                self.schedule_throw(
+                    proc, ProcessError(f"join: {dead.name!r} was killed")
+                )
+            else:
+                self.schedule_resume(proc, dead.result)
+
+        target.exit_watchers.append(on_exit)
+
+    def _do_par(self, proc: Process, par: Par, cost: int) -> None:
+        """§2.1.1 ``par``: run all thunks, wait for all, return results."""
+        if not par.thunks:
+            self.schedule_resume(proc, [], cost=cost)
+            return
+        results: list[Any] = [None] * len(par.thunks)
+        remaining = {"count": len(par.thunks), "failed": False}
+        proc.state = ProcessState.BLOCKED
+        proc.blocked_on = f"par({len(par.thunks)})"
+
+        def make_watcher(index: int) -> Callable[[Process], None]:
+            def on_exit(child: Process) -> None:
+                if remaining["failed"]:
+                    return
+                if child.state == ProcessState.FAILED and child.exception is not None:
+                    remaining["failed"] = True
+                    self.schedule_throw(proc, child.exception)
+                    return
+                results[index] = child.result
+                remaining["count"] -= 1
+                if remaining["count"] == 0:
+                    self.schedule_resume(proc, results)
+
+            return on_exit
+
+        for index, thunk in enumerate(par.thunks):
+            child = self.spawn(
+                thunk,
+                name=f"{proc.name}.par[{index}]",
+                priority=par.priority,
+                charge_to=proc,
+            )
+            child.exit_watchers.append(make_watcher(index))
+
+    # ------------------------------------------------------------------
+    # Select machinery
+    # ------------------------------------------------------------------
+
+    def _poll_guards(
+        self, guards: Iterable[tuple[int, Guard]]
+    ) -> list[tuple[int, Guard, Ready]]:
+        ready: list[tuple[int, Guard, Ready]] = []
+        for index, guard in guards:
+            self.stats.guard_polls += 1
+            outcome = guard.poll(self)
+            if outcome is not None:
+                ready.append((index, guard, outcome))
+        return ready
+
+    def _choose(
+        self, ready: list[tuple[int, Guard, Ready]]
+    ) -> tuple[int, Guard, Ready]:
+        """Pick among ready guards: smallest ``pri`` first, then policy."""
+        keyed = [
+            (guard.effective_pri(outcome), order, index, guard, outcome)
+            for order, (index, guard, outcome) in enumerate(ready)
+        ]
+        best_pri = min(k[0] for k in keyed)
+        candidates = [k for k in keyed if k[0] == best_pri]
+        if self.arbitration == "random" and len(candidates) > 1:
+            chosen = self.rng.choice(candidates)
+        else:
+            chosen = candidates[0]
+        return chosen[2], chosen[3], chosen[4]
+
+    def _do_select(self, proc: Process, select: Select, cost: int) -> None:
+        self.stats.selects += 1
+        if not select.guards and not select.else_:
+            self.schedule_throw(
+                proc, GuardExhaustedError("select with no guards and no else")
+            )
+            return
+        feasible = [
+            (i, g) for i, g in enumerate(select.guards) if g.feasible()
+        ]
+        ready = self._poll_guards(feasible)
+        poll_cost = self.costs.guard_poll * len(feasible)
+        if ready:
+            index, guard, outcome = self._choose(ready)
+            value = guard.commit(self, proc, outcome)
+            self.stats.commits += 1
+            commit_cost = getattr(guard, "commit_cost", 0)
+            result = value if select.unwrap else SelectResult(index, guard, value)
+            self.schedule_resume(proc, result, cost=cost + poll_cost + commit_cost)
+            return
+        if select.else_:
+            result = (
+                select.else_value
+                if select.unwrap
+                else SelectResult(-1, None, select.else_value)
+            )
+            self.schedule_resume(proc, result, cost=cost + poll_cost)
+            return
+        if not feasible:
+            self.schedule_throw(
+                proc,
+                GuardExhaustedError(
+                    f"{proc.name!r}: select has no feasible guard and no else "
+                    f"({[g.describe() for g in select.guards]})"
+                ),
+            )
+            return
+        # Block: register on every waitable of every feasible guard.
+        pending = _PendingSelect(select, feasible)
+        pending.poll_count = len(feasible)
+        proc.state = ProcessState.BLOCKED
+        proc.blocked_on = "select(" + ", ".join(g.describe() for _, g in feasible) + ")"
+        self._pending_selects[proc.pid] = pending
+        for _i, guard in feasible:
+            for waitable in guard.waitables():
+                waitable.add_waiter(proc)
+                pending.registered.append(waitable)
+            on_block = getattr(guard, "on_block", None)
+            if on_block is not None:
+                on_block(self, proc)
+        self.trace.record(self.clock.now, "block", proc.name, on=proc.blocked_on)
+
+    def reevaluate_select(self, proc: Process) -> bool:
+        """Re-poll the pending select of ``proc`` after a state change.
+
+        Called by :meth:`~repro.kernel.waiting.Waitable.notify`.  Returns
+        True if the select fired.
+        """
+        pending = self._pending_selects.get(proc.pid)
+        if pending is None or not proc.alive:
+            return False
+        ready = self._poll_guards(pending.guards)
+        pending.poll_count += len(pending.guards)
+        if not ready:
+            return False
+        index, guard, outcome = self._choose(ready)
+        self._cancel_pending_select(proc)
+        value = guard.commit(self, proc, outcome)
+        self.stats.commits += 1
+        wake_cost = self.costs.guard_poll * pending.poll_count
+        wake_cost += getattr(guard, "commit_cost", 0)
+        result = (
+            value if pending.select.unwrap else SelectResult(index, guard, value)
+        )
+        self.schedule_resume(proc, result, cost=wake_cost)
+        self.trace.record(
+            self.clock.now, "wake", proc.name, guard=guard.describe()
+        )
+        return True
+
+    def _cancel_pending_select(self, proc: Process) -> None:
+        pending = self._pending_selects.pop(proc.pid, None)
+        if pending is None:
+            return
+        for waitable in pending.registered:
+            waitable.remove_waiter(proc)
+        for _i, guard in pending.guards:
+            on_unblock = getattr(guard, "on_unblock", None)
+            if on_unblock is not None:
+                on_unblock(self, proc)
+
+    def notify(self, waitable: Waitable) -> None:
+        """Tell blocked selectors that ``waitable`` changed state."""
+        waitable.notify(self)

@@ -1,0 +1,210 @@
+"""Lightweight processes.
+
+The paper assumes each ALPS object lives in one address space and that all
+processes inside it — the manager plus one server process per active entry
+call — are *lightweight* processes scheduled preemptively by priority, with
+the manager at a higher priority "so that the manager is more receptive to
+entry calls" (§2.3, §3).
+
+We model a lightweight process as a Python generator: the generator yields
+*syscall* objects (see :mod:`repro.kernel.syscalls`) and the scheduler
+resumes it with each syscall's result.  Because processes only lose control
+at syscalls, scheduling is cooperative at syscall granularity — exactly the
+granularity at which the paper's semantics are defined (its primitives are
+the only interaction points between processes).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Generator, Iterable
+
+from ..errors import ProcessError
+
+# Priority levels: numerically smaller = more urgent, matching the paper's
+# "high priority" manager.  Arbitrary integers are allowed; these are the
+# conventional levels used throughout the library.
+PRIORITY_KERNEL = 0
+PRIORITY_MANAGER = 10
+PRIORITY_NORMAL = 100
+PRIORITY_BACKGROUND = 1000
+
+
+class ProcessState(enum.Enum):
+    """Life cycle of a lightweight process."""
+
+    NEW = "new"          # created, not yet dispatched
+    READY = "ready"      # runnable, waiting for the CPU
+    RUNNING = "running"  # currently executing
+    BLOCKED = "blocked"  # waiting on a syscall (receive, select, join, ...)
+    DONE = "done"        # returned normally
+    FAILED = "failed"    # raised an exception
+    KILLED = "killed"    # terminated externally
+
+
+#: The type of a process body: a generator yielding syscalls.
+ProcessBody = Generator[Any, Any, Any]
+
+
+class Process:
+    """A lightweight process: a generator plus scheduling metadata.
+
+    Instances are created through :meth:`repro.kernel.kernel.Kernel.spawn`;
+    user code never constructs them directly.
+    """
+
+    __slots__ = (
+        "pid",
+        "name",
+        "priority",
+        "state",
+        "body",
+        "result",
+        "exception",
+        "blocked_on",
+        "_resume_value",
+        "_resume_exception",
+        "exit_watchers",
+        "lightweight",
+        "daemon",
+        "created_at",
+        "finished_at",
+        "resumptions",
+        "epoch",
+        "node",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        name: str,
+        body: ProcessBody,
+        priority: int = PRIORITY_NORMAL,
+        lightweight: bool = True,
+        daemon: bool = False,
+        created_at: int = 0,
+    ) -> None:
+        if not hasattr(body, "send") or not hasattr(body, "throw"):
+            raise ProcessError(
+                f"process body for {name!r} must be a generator "
+                f"(got {type(body).__name__}); write the body with 'yield'"
+            )
+        self.pid = pid
+        self.name = name
+        self.priority = priority
+        self.state = ProcessState.NEW
+        self.body = body
+        #: Value returned by the body (StopIteration value).
+        self.result: Any = None
+        #: Exception that terminated the body, if any.
+        self.exception: BaseException | None = None
+        #: Human-readable description of what the process is blocked on.
+        self.blocked_on: str | None = None
+        self._resume_value: Any = None
+        self._resume_exception: BaseException | None = None
+        #: Callbacks invoked (with this process) when it terminates.
+        #: ``Join``, ``Par`` and entry-call plumbing hook in here.
+        self.exit_watchers: list[Callable[["Process"], None]] = []
+        #: Lightweight processes are cheap to create (see CostModel).
+        self.lightweight = lightweight
+        #: Daemons (e.g. managers) may be blocked forever at quiescence
+        #: without the kernel reporting a deadlock.
+        self.daemon = daemon
+        self.created_at = created_at
+        self.finished_at: int | None = None
+        #: Number of times the scheduler resumed this process.
+        self.resumptions = 0
+        #: Incremented on every park/unpark; stale scheduled events are
+        #: recognized (and skipped) by comparing epochs.
+        self.epoch = 0
+        #: Home node when running on a simulated network (set by repro.net).
+        self.node = None
+
+    # -- scheduling hooks (used by the scheduler only) ------------------
+
+    def prepare_resume(self, value: Any = None) -> None:
+        """Stage the value that the next ``send`` into the body will carry."""
+        self._resume_value = value
+        self._resume_exception = None
+
+    def prepare_throw(self, exc: BaseException) -> None:
+        """Stage an exception to raise inside the body at resumption."""
+        self._resume_exception = exc
+
+    def step(self) -> tuple[bool, Any]:
+        """Resume the body until its next yield.
+
+        Returns ``(finished, payload)``: when ``finished`` is False the
+        payload is the syscall that was yielded; when True it is the
+        body's return value.  Exceptions from the body propagate after
+        marking the process FAILED.
+        """
+        self.resumptions += 1
+        try:
+            if self._resume_exception is not None:
+                exc, self._resume_exception = self._resume_exception, None
+                syscall = self.body.throw(exc)
+            else:
+                value, self._resume_value = self._resume_value, None
+                syscall = self.body.send(value)
+        except StopIteration as stop:
+            self.state = ProcessState.DONE
+            self.result = stop.value
+            return True, stop.value
+        except BaseException as exc:
+            self.state = ProcessState.FAILED
+            self.exception = exc
+            raise
+        return False, syscall
+
+    def kill(self) -> None:
+        """Terminate the process without running it further."""
+        if self.state in (ProcessState.DONE, ProcessState.FAILED):
+            return
+        self.body.close()
+        self.state = ProcessState.KILLED
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (
+            ProcessState.DONE,
+            ProcessState.FAILED,
+            ProcessState.KILLED,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Process {self.pid} {self.name!r} prio={self.priority} "
+            f"state={self.state.value}"
+            + (f" blocked_on={self.blocked_on!r}" if self.blocked_on else "")
+            + ">"
+        )
+
+
+def as_generator(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> ProcessBody:
+    """Call ``fn`` and normalize the result into a process body.
+
+    If ``fn`` is a generator function the generator is returned as-is.  If
+    it is a plain function, it is executed *immediately at first resume*
+    inside a one-shot generator — convenient for trivial bodies that never
+    block.
+    """
+    result = fn(*args, **kwargs)
+    if hasattr(result, "send") and hasattr(result, "throw"):
+        return result
+
+    def one_shot() -> ProcessBody:
+        return result
+        yield  # pragma: no cover - makes this a generator function
+
+    return one_shot()
+
+
+def format_blocked(processes: Iterable[Process]) -> str:
+    """Render a diagnostic listing of blocked processes (for deadlocks)."""
+    lines = []
+    for proc in processes:
+        lines.append(f"  {proc.name} (pid={proc.pid}) waiting on {proc.blocked_on}")
+    return "\n".join(lines) if lines else "  (none)"

@@ -1,0 +1,76 @@
+"""Kernel statistics.
+
+Benchmarks read these counters to report the quantities the paper argues
+about qualitatively: process creations (§3 pools), context switches
+(§1 "synchronization overhead due to process switches"), guard polls
+(§3 polling of hidden procedure arrays), and message counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KernelStats:
+    """Mutable counters accumulated over a kernel run."""
+
+    #: Processes created (all kinds).
+    spawns: int = 0
+    #: Of which lightweight.
+    lwp_spawns: int = 0
+    #: Processes that terminated (any way).
+    exits: int = 0
+    #: Scheduler dispatches that switched to a different process.
+    context_switches: int = 0
+    #: Total process resumptions.
+    resumptions: int = 0
+    #: Messages sent on channels.
+    sends: int = 0
+    #: Messages received from channels.
+    receives: int = 0
+    #: Select syscalls executed.
+    selects: int = 0
+    #: Individual guard polls performed.
+    guard_polls: int = 0
+    #: Guards committed (select outcomes, including receives).
+    commits: int = 0
+    #: accept/start/await/finish primitive executions (filled by core).
+    accepts: int = 0
+    starts: int = 0
+    awaits: int = 0
+    finishes: int = 0
+    #: Entry calls issued / completed (filled by core).
+    calls_issued: int = 0
+    calls_completed: int = 0
+    #: Calls answered by combining (finished without a start).
+    calls_combined: int = 0
+    #: Simulated CPU ticks consumed by Charge syscalls.
+    work_ticks: int = 0
+    #: Extra tallies keyed by label (benchmarks may add their own).
+    custom: dict[str, int] = field(default_factory=dict)
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        """Increment a custom counter."""
+        self.custom[key] = self.custom.get(key, 0) + amount
+
+    def snapshot(self) -> dict[str, int]:
+        """Return a flat dict copy of every counter (custom ones prefixed)."""
+        flat = {
+            name: getattr(self, name)
+            for name in (
+                "spawns", "lwp_spawns", "exits", "context_switches",
+                "resumptions", "sends", "receives", "selects", "guard_polls",
+                "commits", "accepts", "starts", "awaits", "finishes",
+                "calls_issued", "calls_completed", "calls_combined",
+                "work_ticks",
+            )
+        }
+        for key, value in self.custom.items():
+            flat[f"custom.{key}"] = value
+        return flat
+
+    def diff(self, earlier: dict[str, int]) -> dict[str, int]:
+        """Counter deltas relative to an earlier :meth:`snapshot`."""
+        now = self.snapshot()
+        return {k: now.get(k, 0) - earlier.get(k, 0) for k in now}

@@ -1,0 +1,62 @@
+"""Timeout guard for ``select``.
+
+Not in the 1988 paper's surface syntax, but indispensable for driving
+benchmark workloads (bounded experiment duration, arrival processes) and a
+natural extension of its guard model: ``Timeout(n)`` becomes ready ``n``
+ticks after the select blocks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .waiting import Guard, Ready
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+    from .process import Process
+
+
+class Timeout(Guard):
+    """Guard that fires ``ticks`` after its select starts waiting.
+
+    The deadline is anchored at the first poll, so re-used guard objects
+    must not be shared between selects.
+    """
+
+    def __init__(self, ticks: int, value: object = None, pri: object = None) -> None:
+        if ticks < 0:
+            raise ValueError(f"timeout must be >= 0, got {ticks}")
+        self.ticks = ticks
+        self.value = value
+        self.pri = pri
+        self._deadline: int | None = None
+        self._cancel = {"cancelled": False}
+
+    def poll(self, kernel: "Kernel") -> Ready | None:
+        if self._deadline is None:
+            self._deadline = kernel.clock.now + self.ticks
+        if kernel.clock.now >= self._deadline:
+            return Ready(self.value)
+        return None
+
+    def commit(self, kernel: "Kernel", proc: "Process", ready: Ready) -> object:
+        return ready.value
+
+    def on_block(self, kernel: "Kernel", proc: "Process") -> None:
+        """Post a wakeup at the deadline (cancelled if the select fires first)."""
+        assert self._deadline is not None
+        epoch = proc.epoch
+        self._cancel["cancelled"] = False
+
+        def fire() -> None:
+            if proc.alive and proc.epoch == epoch:
+                kernel.reevaluate_select(proc)
+
+        kernel.post(self._deadline, fire, priority=proc.priority, cancel=self._cancel)
+
+    def on_unblock(self, kernel: "Kernel", proc: "Process") -> None:
+        self._cancel["cancelled"] = True
+
+    def describe(self) -> str:
+        return f"timeout({self.ticks})"

@@ -1,0 +1,43 @@
+"""The ALPS surface-syntax front end (§4: the in-progress compiler).
+
+Parses the paper's Pascal-like notation and compiles it onto the
+:mod:`repro.core` runtime::
+
+    from repro.lang import compile_program
+
+    module = compile_program('''
+        object Cell defines
+          proc Put(Value);
+          proc Get() returns (Value);
+        end Cell;
+
+        object Cell implements
+          var Content := nil;
+          proc Put(V); begin Content := V; end Put;
+          proc Get() returns (1); begin return (Content); end Get;
+          manager intercepts Put, Get;
+          begin
+            loop
+              accept Put => execute Put;
+            or
+              accept Get when Content <> nil => execute Get;
+            end loop;
+          end manager;
+        end Cell;
+    ''')
+    cell = module.instantiate(kernel, "Cell")
+"""
+
+from .compiler import Module, compile_program
+from .interp import LangRuntimeError
+from .parser import parse_program
+from .tokens import LangSyntaxError, tokenize
+
+__all__ = [
+    "compile_program",
+    "parse_program",
+    "tokenize",
+    "Module",
+    "LangSyntaxError",
+    "LangRuntimeError",
+]

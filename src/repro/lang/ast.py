@@ -1,0 +1,252 @@
+"""AST node definitions for the ALPS surface syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+# -- expressions ---------------------------------------------------------
+
+
+@dataclass
+class Num:
+    value: int
+
+
+@dataclass
+class Str:
+    value: str
+
+
+@dataclass
+class Bool:
+    value: bool
+
+
+@dataclass
+class Nil:
+    pass
+
+
+@dataclass
+class Var:
+    name: str
+
+
+@dataclass
+class Index:
+    base: Any
+    index: Any
+
+
+@dataclass
+class Field:
+    base: Any
+    name: str
+
+
+@dataclass
+class Pending:
+    """``#P`` — the pending-call count of procedure P (§2.5.1)."""
+
+    proc: str
+
+
+@dataclass
+class Unary:
+    op: str
+    operand: Any
+
+
+@dataclass
+class Binary:
+    op: str
+    left: Any
+    right: Any
+
+
+@dataclass
+class CallExpr:
+    """``X.P(args)`` or ``P(args)`` used as an expression (entry call /
+    local call / builtin)."""
+
+    target: Any          # None for bare names, else object expression
+    name: str
+    args: list = field(default_factory=list)
+
+
+# -- statements ----------------------------------------------------------
+
+
+@dataclass
+class Assign:
+    targets: list        # lvalues (Var/Index/Field); multi-target for calls
+    value: Any
+
+
+@dataclass
+class If:
+    arms: list           # [(cond, body), ...]
+    orelse: list
+
+
+@dataclass
+class While:
+    cond: Any
+    body: list
+
+
+@dataclass
+class CallStmt:
+    call: CallExpr
+
+
+@dataclass
+class SendStmt:
+    channel: Any
+    values: list
+
+
+@dataclass
+class ReceiveStmt:
+    channel: Any
+    targets: list
+
+
+@dataclass
+class ReturnStmt:
+    values: list
+
+
+@dataclass
+class WorkStmt:
+    """``work(E)`` — consume E ticks of simulated CPU (Charge)."""
+
+    amount: Any
+
+
+@dataclass
+class SkipStmt:
+    pass
+
+
+@dataclass
+class AcceptStmt:
+    proc: str
+    slot_var: str | None   # bound loop variable, informational
+    params: list            # names receiving intercepted params
+    bind: str | None        # variable that receives the call handle
+
+
+@dataclass
+class StartStmt:
+    proc: str
+    call_var: str | None    # call-handle variable; None = "the current call"
+    hidden: list            # hidden parameter expressions
+
+
+@dataclass
+class AwaitStmt:
+    proc: str
+    results: list           # names receiving intercepted results
+    bind: str | None
+
+
+@dataclass
+class FinishStmt:
+    proc: str
+    call_var: str | None
+    results: list           # expressions for intercepted results
+
+
+@dataclass
+class ExecuteStmt:
+    proc: str
+    call_var: str | None
+    hidden: list
+
+
+# -- guards and select/loop ----------------------------------------------
+
+
+@dataclass
+class GuardClause:
+    """One guarded alternative: quantifier? primitive when? pri? => body."""
+
+    kind: str               # 'accept' | 'await' | 'receive' | 'when'
+    proc: str | None        # for accept/await
+    channel: Any            # for receive
+    binders: list           # names bound from params/results/message
+    bind: str | None        # call-handle variable for accept/await
+    when: Any               # condition expression or None
+    pri: Any                # priority expression or None
+    body: list
+
+
+@dataclass
+class SelectStmt:
+    clauses: list
+    repetitive: bool        # loop vs select
+
+
+# -- declarations ---------------------------------------------------------
+
+
+@dataclass
+class ProcSig:
+    name: str
+    params: list            # parameter names (definition part)
+    returns: int
+
+
+@dataclass
+class ObjectDef:
+    name: str
+    procs: list             # [ProcSig]
+
+
+@dataclass
+class ProcImpl:
+    name: str
+    array: Any              # None | int | Var(name) — upper bound of [1..N]
+    params: list            # all parameter names (incl. hidden)
+    returns: int            # total results (incl. hidden)
+    body: list
+    locals_: list = field(default_factory=list)   # [(name, initial-expr)]
+
+
+@dataclass
+class InterceptClause:
+    proc: str
+    params: int
+    results: int
+
+
+@dataclass
+class ManagerDecl:
+    intercepts: list        # [InterceptClause]
+    variables: list         # [(name, initial)]
+    body: list
+
+
+@dataclass
+class VarDecl:
+    names: list
+    type_name: str | None
+    initial: Any            # expression or None
+
+
+@dataclass
+class ObjectImpl:
+    name: str
+    variables: list         # [VarDecl]
+    procs: list             # [ProcImpl]
+    manager: ManagerDecl | None
+    init: list              # initialization statements
+
+
+@dataclass
+class Program:
+    definitions: dict       # name -> ObjectDef
+    implementations: dict   # name -> ObjectImpl

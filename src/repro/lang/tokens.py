@@ -1,0 +1,153 @@
+"""Lexer for the ALPS surface syntax.
+
+The paper writes ALPS in a Pascal-like notation ("The version of ALPS
+presented here uses strong typing and is based on a Pascal-like
+notation", §4) and reports that a compiler was in its initial stages.
+:mod:`repro.lang` is that front end: it parses the paper's notation and
+compiles it onto the :mod:`repro.core` runtime.
+
+The lexer is conventional: keywords, identifiers, integer/string
+literals, and the operator/punctuation set used by the paper's examples
+(``:=``, ``=>``, ``..``, comparisons, arithmetic).  Comments are
+``{ ... }`` (Pascal style) and ``// ...`` to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AlpsError
+
+
+class LangSyntaxError(AlpsError):
+    """Lexical or syntactic error in ALPS source text."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+KEYWORDS = {
+    "object", "defines", "implements", "end", "proc", "returns", "var",
+    "manager", "intercepts", "begin", "if", "then", "else", "elsif",
+    "while", "do", "loop", "select", "when", "pri", "or", "and", "not",
+    "accept", "start", "await", "finish", "execute", "send", "receive",
+    "return", "skip", "true", "false", "nil", "par", "to", "work",
+    "mod", "div", "use",
+}
+
+SYMBOLS = [
+    ":=", "=>", "..", "<=", ">=", "<>", "(", ")", "[", "]", ",", ";",
+    ":", "=", "<", ">", "+", "-", "*", "/", ".", "#",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # 'kw', 'name', 'int', 'string', 'sym', 'eof'
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind},{self.value!r}@{self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split ALPS source into tokens (raises LangSyntaxError)."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> LangSyntaxError:
+        return LangSyntaxError(message, line, column)
+
+    while index < length:
+        ch = source[index]
+        # Whitespace
+        if ch == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            column += 1
+            continue
+        # Comments
+        if ch == "{":
+            start_line, start_col = line, column
+            index += 1
+            column += 1
+            while index < length and source[index] != "}":
+                if source[index] == "\n":
+                    line += 1
+                    column = 1
+                else:
+                    column += 1
+                index += 1
+            if index >= length:
+                raise LangSyntaxError("unterminated { comment", start_line, start_col)
+            index += 1
+            column += 1
+            continue
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        # String literals
+        if ch in "\"'":
+            quote = ch
+            start_col = column
+            index += 1
+            column += 1
+            chars = []
+            while index < length and source[index] != quote:
+                if source[index] == "\n":
+                    raise error("unterminated string literal")
+                chars.append(source[index])
+                index += 1
+                column += 1
+            if index >= length:
+                raise error("unterminated string literal")
+            index += 1
+            column += 1
+            tokens.append(Token("string", "".join(chars), line, start_col))
+            continue
+        # Numbers
+        if ch.isdigit():
+            start_col = column
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+                column += 1
+            tokens.append(Token("int", source[start:index], line, start_col))
+            continue
+        # Identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start_col = column
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+                column += 1
+            word = source[start:index]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("kw", lowered, line, start_col))
+            else:
+                tokens.append(Token("name", word, line, start_col))
+            continue
+        # Symbols (longest match first)
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, index):
+                tokens.append(Token("sym", symbol, line, column))
+                index += len(symbol)
+                column += len(symbol)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line, column))
+    return tokens

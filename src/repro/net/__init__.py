@@ -1,0 +1,18 @@
+"""Simulated distributed substrate: nodes, topologies, remote calls (§1, §4)."""
+
+from .network import Network, Node, node_of
+from .rpc import NetChannel, NetSend
+from .topologies import full_mesh, hypercube, ring, star, transputer_grid
+
+__all__ = [
+    "Network",
+    "Node",
+    "node_of",
+    "NetChannel",
+    "NetSend",
+    "transputer_grid",
+    "ring",
+    "star",
+    "full_mesh",
+    "hypercube",
+]

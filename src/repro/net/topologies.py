@@ -1,0 +1,98 @@
+"""Topology builders, including the paper's target machine.
+
+§4: "The ALPS kernel is currently being implemented in C on a 16-node
+transputer network."  A T800 transputer has four bidirectional links, so
+the canonical 16-node arrangement is a 4×4 grid (optionally wrapped into
+a torus).  Builders for rings, stars, and full meshes cover the other
+machines the paper mentions (Encore/Multimax, iPSC hypercube, Butterfly).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import NetworkError
+from .network import Network, Node
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+
+
+def transputer_grid(
+    kernel: "Kernel",
+    rows: int = 4,
+    cols: int = 4,
+    link_latency: int = 1,
+    torus: bool = False,
+) -> Network:
+    """A rows×cols transputer grid (default: the paper's 16 nodes).
+
+    Node names are ``t<r>_<c>``; each chip uses at most its four links
+    (grid neighbours), faithfully to transputer hardware.
+    """
+    if rows < 1 or cols < 1:
+        raise NetworkError(f"grid must be at least 1x1, got {rows}x{cols}")
+    net = Network(kernel, name=f"transputer{rows}x{cols}")
+    grid: list[list[Node]] = [
+        [net.add_node(f"t{r}_{c}") for c in range(cols)] for r in range(rows)
+    ]
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                net.connect(grid[r][c], grid[r][c + 1], link_latency)
+            elif torus and cols > 2:
+                net.connect(grid[r][c], grid[r][0], link_latency)
+            if r + 1 < rows:
+                net.connect(grid[r][c], grid[r + 1][c], link_latency)
+            elif torus and rows > 2:
+                net.connect(grid[r][c], grid[0][c], link_latency)
+    return net
+
+
+def ring(kernel: "Kernel", size: int, link_latency: int = 1) -> Network:
+    """A ring of ``size`` nodes named ``n0 .. n<size-1>``."""
+    if size < 2:
+        raise NetworkError(f"ring needs >= 2 nodes, got {size}")
+    net = Network(kernel, name=f"ring{size}")
+    nodes = [net.add_node(f"n{i}") for i in range(size)]
+    for i in range(size):
+        net.connect(nodes[i], nodes[(i + 1) % size], link_latency)
+    return net
+
+
+def star(kernel: "Kernel", leaves: int, link_latency: int = 1) -> Network:
+    """A hub node ``hub`` with ``leaves`` spokes ``n0..``."""
+    if leaves < 1:
+        raise NetworkError(f"star needs >= 1 leaf, got {leaves}")
+    net = Network(kernel, name=f"star{leaves}")
+    hub = net.add_node("hub")
+    for i in range(leaves):
+        net.connect(hub, net.add_node(f"n{i}"), link_latency)
+    return net
+
+
+def full_mesh(kernel: "Kernel", size: int, link_latency: int = 1) -> Network:
+    """Every node linked to every other (shared-bus approximation)."""
+    if size < 2:
+        raise NetworkError(f"mesh needs >= 2 nodes, got {size}")
+    net = Network(kernel, name=f"mesh{size}")
+    nodes = [net.add_node(f"n{i}") for i in range(size)]
+    for i in range(size):
+        for j in range(i + 1, size):
+            net.connect(nodes[i], nodes[j], link_latency)
+    return net
+
+
+def hypercube(kernel: "Kernel", dimension: int, link_latency: int = 1) -> Network:
+    """A 2^d-node hypercube (the Intel iPSC shape the paper mentions)."""
+    if dimension < 1:
+        raise NetworkError(f"hypercube dimension must be >= 1, got {dimension}")
+    net = Network(kernel, name=f"hypercube{dimension}")
+    size = 1 << dimension
+    nodes = [net.add_node(f"n{i:0{dimension}b}") for i in range(size)]
+    for i in range(size):
+        for bit in range(dimension):
+            j = i ^ (1 << bit)
+            if j > i:
+                net.connect(nodes[i], nodes[j], link_latency)
+    return net

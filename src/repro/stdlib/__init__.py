@@ -1,0 +1,33 @@
+"""Ready-made ALPS objects: the paper's worked examples plus classics.
+
+* :class:`BoundedBuffer` — §2.4.1 (manager as monitor).
+* :class:`Database` — §2.5.1 readers–writers with a hidden procedure array.
+* :class:`Dictionary` — §2.7.1 request combining.
+* :class:`Spooler` — §2.8.1 hidden parameters and results.
+* :class:`ParallelBuffer` — §2.8.2 parallel bounded buffer.
+* :class:`DiskScheduler` — SCAN via run-time guard priorities.
+* :class:`Barrier`, :class:`ResourceAllocator` — pure manager combining.
+"""
+
+from .alarm_clock import AlarmClock
+from .barrier import Barrier
+from .bounded_buffer import BoundedBuffer
+from .dictionary import Dictionary
+from .disk_scheduler import DiskScheduler
+from .parallel_buffer import ParallelBuffer
+from .readers_writers import Database
+from .resource_allocator import ResourceAllocator
+from .spooler import Printer, Spooler
+
+__all__ = [
+    "AlarmClock",
+    "BoundedBuffer",
+    "Database",
+    "Dictionary",
+    "Spooler",
+    "Printer",
+    "ParallelBuffer",
+    "DiskScheduler",
+    "Barrier",
+    "ResourceAllocator",
+]

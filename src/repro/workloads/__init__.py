@@ -1,0 +1,19 @@
+"""Workload generation: arrivals, popularity skew, deterministic traces."""
+
+from .generators import ArrivalProcess, Bursty, Poisson, Uniform, closed_loop, open_loop
+from .traces import TraceEntry, mixed_trace, replay
+from .zipf import Zipf, word_corpus
+
+__all__ = [
+    "ArrivalProcess",
+    "Uniform",
+    "Poisson",
+    "Bursty",
+    "open_loop",
+    "closed_loop",
+    "Zipf",
+    "word_corpus",
+    "TraceEntry",
+    "mixed_trace",
+    "replay",
+]

@@ -1,0 +1,75 @@
+"""Deterministic request traces.
+
+A trace is a list of (time, operation, payload) tuples that can be fed to
+any of the competing implementations, guaranteeing that mechanism
+comparisons (manager vs monitor vs serializer ...) service *literally
+identical* workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from ..kernel.syscalls import Delay, Spawn
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One scripted request."""
+
+    time: int
+    operation: str
+    payload: Any = None
+
+
+def mixed_trace(
+    operations: dict[str, float],
+    count: int,
+    mean_gap: float,
+    payload_fn: Callable[[int, str], Any] | None = None,
+    seed: int = 0,
+) -> list[TraceEntry]:
+    """A random but reproducible trace mixing operations by weight.
+
+    ``operations`` maps operation name → relative weight.
+    """
+    if not operations:
+        raise ValueError("need at least one operation")
+    rng = random.Random(seed)
+    names = list(operations)
+    weights = [operations[n] for n in names]
+    now = 0
+    entries = []
+    for index in range(count):
+        now += max(0, round(rng.expovariate(1.0 / mean_gap))) if mean_gap > 0 else 0
+        op = rng.choices(names, weights=weights)[0]
+        payload = payload_fn(index, op) if payload_fn else index
+        entries.append(TraceEntry(time=now, operation=op, payload=payload))
+    return entries
+
+
+def replay(
+    trace: Iterable[TraceEntry],
+    handlers: dict[str, Callable[[Any], Any]],
+):
+    """Driver body replaying a trace: spawns one process per entry.
+
+    ``handlers`` maps operation name → callable(payload) returning a
+    process body.  Entries fire at their scripted virtual times.
+    """
+
+    def driver():
+        now = 0
+        for entry in trace:
+            if entry.time > now:
+                yield Delay(entry.time - now)
+                now = entry.time
+            handler = handlers[entry.operation]
+            yield Spawn(
+                lambda h=handler, p=entry.payload: h(p),
+                name=f"{entry.operation}@{entry.time}",
+            )
+
+    return driver

@@ -1,0 +1,161 @@
+"""Tests for the baseline buffer/readers-writers implementations."""
+
+import pytest
+
+from repro.baselines import (
+    MonitorBuffer,
+    MonitorReadersWriters,
+    PathBuffer,
+    PathReadersWriters,
+    SemaphoreBuffer,
+    SerializerReadersWriters,
+)
+from repro.kernel import Delay, Kernel, Par
+from repro.kernel.costs import FREE
+
+BUFFERS = [SemaphoreBuffer, MonitorBuffer, PathBuffer]
+RW_CLASSES = [MonitorReadersWriters, SerializerReadersWriters, PathReadersWriters]
+
+
+@pytest.mark.parametrize("buffer_cls", BUFFERS)
+class TestBufferImplementations:
+    def test_transfers_all_messages_in_order(self, buffer_cls):
+        kernel = Kernel(costs=FREE)
+        buf = buffer_cls(kernel, size=3)
+
+        def producer():
+            for i in range(12):
+                yield from buf.deposit(i)
+
+        def consumer():
+            got = []
+            for _ in range(12):
+                got.append((yield from buf.remove()))
+            return got
+
+        kernel.spawn(producer)
+        proc = kernel.spawn(consumer)
+        kernel.run()
+        assert proc.result == list(range(12))
+
+    def test_producer_blocks_when_full(self, buffer_cls):
+        kernel = Kernel(costs=FREE)
+        buf = buffer_cls(kernel, size=2)
+        deposited = []
+
+        def producer():
+            for i in range(5):
+                yield from buf.deposit(i)
+                deposited.append(i)
+
+        def consumer():
+            yield Delay(100)
+            for _ in range(5):
+                yield from buf.remove()
+
+        kernel.spawn(producer)
+        kernel.spawn(consumer)
+        kernel.run(until=50)
+        assert len(deposited) == 2
+        kernel.run()
+        assert len(deposited) == 5
+
+    def test_many_producers_consumers(self, buffer_cls):
+        kernel = Kernel(costs=FREE)
+        buf = buffer_cls(kernel, size=4)
+        received = []
+
+        def producer(base):
+            for i in range(5):
+                yield from buf.deposit(base + i)
+
+        def consumer():
+            for _ in range(5):
+                received.append((yield from buf.remove()))
+
+        def main():
+            yield Par(
+                lambda: producer(0),
+                lambda: producer(100),
+                lambda: consumer(),
+                lambda: consumer(),
+            )
+
+        kernel.run_process(main)
+        assert sorted(received) == sorted(list(range(5)) + list(range(100, 105)))
+
+
+@pytest.mark.parametrize("rw_cls", RW_CLASSES)
+class TestReadersWritersImplementations:
+    def test_reads_and_writes_complete(self, rw_cls):
+        kernel = Kernel(costs=FREE)
+        db = rw_cls(kernel)
+        db.data["k"] = "initial"
+
+        def reader():
+            return (yield from db.read("k"))
+
+        def writer(value):
+            yield from db.write("k", value)
+
+        def main():
+            return (
+                yield Par(
+                    *[lambda: reader() for _ in range(4)],
+                    lambda: writer("new"),
+                )
+            )
+
+        results = kernel.run_process(main)
+        assert all(r in ("initial", "new") for r in results[:4])
+        assert db.data["k"] == "new"
+
+    def test_no_exclusion_violations(self, rw_cls):
+        kernel = Kernel(costs=FREE)
+        db = rw_cls(kernel)
+
+        def reader(i):
+            yield Delay(i % 3)
+            yield from db.read(i)
+
+        def writer(i):
+            yield Delay(i % 5)
+            yield from db.write(i, i)
+
+        def main():
+            yield Par(
+                *[lambda i=i: reader(i) for i in range(8)],
+                *[lambda i=i: writer(i) for i in range(4)],
+            )
+
+        kernel.run_process(main)
+        violations = getattr(db, "exclusion_violations", 0)
+        assert violations == 0
+
+
+class TestMonitorRwConcurrency:
+    def test_readers_overlap(self):
+        kernel = Kernel(costs=FREE)
+        db = MonitorReadersWriters(kernel, read_max=4, read_work=0)
+
+        def reader(i):
+            yield from db.read(i)
+
+        def main():
+            yield Par(*[lambda i=i: reader(i) for i in range(4)])
+
+        kernel.run_process(main)
+        assert db.max_concurrent_readers >= 2
+
+    def test_read_max_respected(self):
+        kernel = Kernel(costs=FREE)
+        db = MonitorReadersWriters(kernel, read_max=2, read_work=0)
+
+        def reader(i):
+            yield from db.read(i)
+
+        def main():
+            yield Par(*[lambda i=i: reader(i) for i in range(8)])
+
+        kernel.run_process(main)
+        assert db.max_concurrent_readers <= 2

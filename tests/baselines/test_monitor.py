@@ -1,0 +1,177 @@
+"""Unit tests for Mesa monitors and condition variables."""
+
+import pytest
+
+from repro.baselines import Monitor
+from repro.errors import AlpsError
+from repro.kernel import Delay, Kernel, Par
+from repro.kernel.costs import FREE
+
+
+class TestMonitorLock:
+    def test_acquire_release(self, kernel):
+        monitor = Monitor(kernel)
+
+        def main():
+            yield from monitor.acquire()
+            yield from monitor.release()
+            return monitor.total_entries
+
+        assert kernel.run_process(main) == 1
+
+    def test_release_without_acquire_rejected(self, kernel):
+        monitor = Monitor(kernel)
+
+        def main():
+            yield from monitor.release()
+
+        with pytest.raises(AlpsError):
+            kernel.run_process(main)
+
+    def test_mutual_exclusion(self):
+        kernel = Kernel(costs=FREE)
+        monitor = Monitor(kernel)
+        active = {"count": 0, "peak": 0}
+
+        def worker():
+            yield from monitor.acquire()
+            active["count"] += 1
+            active["peak"] = max(active["peak"], active["count"])
+            yield Delay(5)
+            active["count"] -= 1
+            yield from monitor.release()
+
+        def main():
+            yield Par(*[lambda: worker() for _ in range(5)])
+
+        kernel.run_process(main)
+        assert active["peak"] == 1
+
+    def test_critical_helper(self, kernel):
+        monitor = Monitor(kernel)
+
+        def body():
+            yield Delay(1)
+            return "inside"
+
+        def main():
+            return (yield from monitor.critical(body()))
+
+        assert kernel.run_process(main) == "inside"
+        # Lock released afterwards.
+        assert monitor._lock.value == 1
+
+
+class TestConditions:
+    def test_wait_signal_roundtrip(self):
+        kernel = Kernel(costs=FREE)
+        monitor = Monitor(kernel)
+        cond = monitor.condition("c")
+        events = []
+
+        def waiter():
+            yield from monitor.acquire()
+            events.append("waiting")
+            yield from cond.wait()
+            events.append("woken")
+            yield from monitor.release()
+
+        def signaler():
+            yield Delay(10)
+            yield from monitor.acquire()
+            events.append("signaling")
+            yield from cond.signal()
+            yield from monitor.release()
+
+        kernel.spawn(waiter)
+        kernel.spawn(signaler)
+        kernel.run()
+        assert events == ["waiting", "signaling", "woken"]
+
+    def test_signal_with_no_waiters_is_noop(self, kernel):
+        monitor = Monitor(kernel)
+        cond = monitor.condition("c")
+
+        def main():
+            yield from monitor.acquire()
+            yield from cond.signal()
+            yield from monitor.release()
+            return cond.total_signals
+
+        assert kernel.run_process(main) == 1
+
+    def test_broadcast_wakes_all(self):
+        kernel = Kernel(costs=FREE)
+        monitor = Monitor(kernel)
+        cond = monitor.condition("c")
+        woken = []
+
+        def waiter(tag):
+            yield from monitor.acquire()
+            yield from cond.wait()
+            woken.append(tag)
+            yield from monitor.release()
+
+        def broadcaster():
+            yield Delay(10)
+            yield from monitor.acquire()
+            yield from cond.broadcast()
+            yield from monitor.release()
+
+        for tag in range(3):
+            kernel.spawn(waiter, tag)
+        kernel.spawn(broadcaster)
+        kernel.run()
+        assert sorted(woken) == [0, 1, 2]
+
+    def test_mesa_semantics_require_retest(self):
+        # Between signal and the waiter's re-acquisition, a third process
+        # can sneak in and steal the state: the classic Mesa hazard.
+        kernel = Kernel(costs=FREE)
+        monitor = Monitor(kernel)
+        cond = monitor.condition("item")
+        state = {"items": 0, "stolen": 0, "consumed": 0}
+
+        def consumer():
+            yield from monitor.acquire()
+            while state["items"] == 0:
+                yield from cond.wait()
+            state["items"] -= 1
+            state["consumed"] += 1
+            yield from monitor.release()
+
+        def thief():
+            yield Delay(11)
+            yield from monitor.acquire()
+            if state["items"] > 0:
+                state["items"] -= 1
+                state["stolen"] += 1
+            yield from monitor.release()
+
+        def producer():
+            yield Delay(10)
+            yield from monitor.acquire()
+            state["items"] += 1
+            yield from cond.signal()
+            yield from monitor.release()
+            yield Delay(10)
+            yield from monitor.acquire()
+            state["items"] += 1
+            yield from cond.signal()
+            yield from monitor.release()
+
+        kernel.spawn(consumer)
+        kernel.spawn(thief)
+        kernel.spawn(producer)
+        kernel.run()
+        # Conservation: every produced unit is consumed, stolen, or still
+        # there — the consumer's while-loop re-test prevented any phantom
+        # consumption (which would make this sum exceed 2).
+        assert state["consumed"] + state["stolen"] + state["items"] == 2
+        assert state["consumed"] == 1
+        assert state["items"] >= 0
+
+    def test_named_conditions_are_cached(self, kernel):
+        monitor = Monitor(kernel)
+        assert monitor.condition("x") is monitor.condition("x")
+        assert monitor.condition("x") is not monitor.condition("y")

@@ -1,0 +1,187 @@
+"""Tests for Ada-style rendezvous tasks and the nested-call problem."""
+
+import pytest
+
+from repro.baselines import AdaTask
+from repro.errors import CallError, DeadlockError
+from repro.kernel import Delay, Kernel, Par
+from repro.kernel.costs import FREE
+
+
+class TestRendezvous:
+    def test_basic_call(self, kernel):
+        def server(task):
+            while True:
+                req = yield task.accept("double")
+                yield task.reply(req, req.args[0] * 2)
+
+        task = AdaTask(kernel, ["double"], server)
+
+        def client():
+            return (yield from task.call("double", 21))
+
+        assert kernel.run_process(client) == 42
+
+    def test_unknown_entry_rejected(self, kernel):
+        task = AdaTask(kernel, ["p"])
+
+        def client():
+            return (yield from task.call("q"))
+
+        with pytest.raises(CallError):
+            kernel.run_process(client)
+
+    def test_selective_accept(self, kernel):
+        log = []
+
+        def server(task):
+            for _ in range(2):
+                req = yield task.accept("a", "b")
+                log.append(req.entry)
+                yield task.reply(req)
+
+        task = AdaTask(kernel, ["a", "b"], server)
+
+        def client():
+            yield from task.call("b")
+            yield from task.call("a")
+
+        kernel.run_process(client)
+        assert log == ["b", "a"]
+
+    def test_pending_count(self):
+        kernel = Kernel(costs=FREE)
+
+        def server(task):
+            yield Delay(50)
+            counts.append(task.pending("p"))
+            while True:
+                req = yield task.accept("p")
+                yield task.reply(req)
+
+        counts = []
+        task = AdaTask(kernel, ["p"], server)
+
+        def client():
+            yield from task.call("p")
+
+        def main():
+            yield Par(*[lambda: client() for _ in range(3)])
+
+        kernel.run_process(main)
+        assert counts == [3]
+
+    def test_server_serves_one_call_at_a_time(self):
+        kernel = Kernel(costs=FREE)
+        active = {"count": 0, "peak": 0}
+
+        def server(task):
+            while True:
+                req = yield task.accept("work")
+                active["count"] += 1
+                active["peak"] = max(active["peak"], active["count"])
+                yield Delay(10)
+                active["count"] -= 1
+                yield task.reply(req)
+
+        task = AdaTask(kernel, ["work"], server)
+
+        def client():
+            yield from task.call("work")
+
+        def main():
+            yield Par(*[lambda: client() for _ in range(4)])
+
+        kernel.run_process(main)
+        assert active["peak"] == 1  # rendezvous = serial service
+
+
+class TestNestedCallProblem:
+    """§2.3: 'DP, Ada and SR suffer from the nested calls problem.'"""
+
+    def _build_tasks(self, kernel):
+        def srv_x(x_task):
+            while True:
+                req = yield x_task.accept("p", "r")
+                if req.entry == "p":
+                    value = yield from y_task.call("q")
+                    yield x_task.reply(req, value)
+                else:
+                    yield x_task.reply(req, "r-result")
+
+        def srv_y(yt):
+            while True:
+                req = yield yt.accept("q")
+                value = yield from x_task.call("r")  # calls back into X
+                yield yt.reply(req, value)
+
+        x_task = AdaTask(kernel, ["p", "r"], srv_x, name="X")
+        y_task = AdaTask(kernel, ["q"], srv_y, name="Y")
+        return x_task, y_task
+
+    def test_rendezvous_deadlocks_on_nested_callback(self):
+        kernel = Kernel()
+        x_task, _y = self._build_tasks(kernel)
+
+        def client():
+            return (yield from x_task.call("p"))
+
+        kernel.spawn(client)
+        with pytest.raises(DeadlockError):
+            kernel.run()
+
+    def test_alps_manager_survives_same_shape(self, kernel):
+        # The manager version of the same X.P -> Y.Q -> X.R chain
+        # completes because start is asynchronous (§2.3).
+        from repro.core import AcceptGuard, AlpsObject, AwaitGuard, Finish, Start, entry, manager_process
+        from repro.kernel import Select
+
+        class X(AlpsObject):
+            @entry(returns=1, array=2)
+            def p(self):
+                value = yield y_obj.q()
+                return f"p({value})"
+
+            @entry(returns=1, array=2)
+            def r(self):
+                return "r-result"
+
+            @manager_process(intercepts=["p", "r"])
+            def mgr(self):
+                while True:
+                    result = yield Select(
+                        AcceptGuard(self, "p"),
+                        AcceptGuard(self, "r"),
+                        AwaitGuard(self, "p"),
+                        AwaitGuard(self, "r"),
+                    )
+                    if isinstance(result.guard, AcceptGuard):
+                        yield Start(result.value)
+                    else:
+                        yield Finish(result.value)
+
+        class Y(AlpsObject):
+            @entry(returns=1, array=2)
+            def q(self):
+                value = yield x_obj.r()
+                return f"q({value})"
+
+            @manager_process(intercepts=["q"])
+            def mgr(self):
+                while True:
+                    result = yield Select(
+                        AcceptGuard(self, "q"),
+                        AwaitGuard(self, "q"),
+                    )
+                    if isinstance(result.guard, AcceptGuard):
+                        yield Start(result.value)
+                    else:
+                        yield Finish(result.value)
+
+        x_obj = X(kernel)
+        y_obj = Y(kernel)
+
+        def client():
+            return (yield x_obj.p())
+
+        assert kernel.run_process(client) == "p(q(r-result))"

@@ -1,0 +1,127 @@
+"""Unit tests for counting semaphores."""
+
+import pytest
+
+from repro.baselines import P, Semaphore, V, p_all, v_all
+from repro.errors import AlpsError, DeadlockError
+from repro.kernel import Delay, Kernel, Par
+from repro.kernel.costs import FREE
+
+
+class TestSemaphore:
+    def test_initial_value(self):
+        assert Semaphore(3).value == 3
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(AlpsError):
+            Semaphore(-1)
+
+    def test_p_decrements(self, kernel):
+        sem = Semaphore(2)
+
+        def main():
+            yield P(sem)
+            return sem.value
+
+        assert kernel.run_process(main) == 1
+
+    def test_v_increments(self, kernel):
+        sem = Semaphore(0)
+
+        def main():
+            yield V(sem)
+            return sem.value
+
+        assert kernel.run_process(main) == 1
+
+    def test_p_blocks_at_zero(self):
+        kernel = Kernel(costs=FREE)
+        sem = Semaphore(0)
+
+        def releaser():
+            yield Delay(30)
+            yield V(sem)
+
+        def acquirer():
+            yield P(sem)
+            return kernel.clock.now
+
+        kernel.spawn(releaser)
+        proc = kernel.spawn(acquirer)
+        kernel.run()
+        assert proc.result == 30
+
+    def test_blocked_p_deadlocks_without_v(self):
+        kernel = Kernel()
+        sem = Semaphore(0)
+
+        def acquirer():
+            yield P(sem)
+
+        kernel.spawn(acquirer)
+        with pytest.raises(DeadlockError):
+            kernel.run()
+
+    def test_fifo_wakeup(self):
+        kernel = Kernel(costs=FREE)
+        sem = Semaphore(0)
+        order = []
+
+        def acquirer(tag, delay):
+            yield Delay(delay)
+            yield P(sem)
+            order.append(tag)
+
+        def releaser():
+            yield Delay(50)
+            for _ in range(3):
+                yield V(sem)
+
+        kernel.spawn(acquirer, "first", 1)
+        kernel.spawn(acquirer, "second", 2)
+        kernel.spawn(acquirer, "third", 3)
+        kernel.spawn(releaser)
+        kernel.run()
+        assert order == ["first", "second", "third"]
+
+    def test_mutex_excludes(self):
+        kernel = Kernel(costs=FREE)
+        mutex = Semaphore(1)
+        active = {"count": 0, "peak": 0}
+
+        def worker():
+            yield P(mutex)
+            active["count"] += 1
+            active["peak"] = max(active["peak"], active["count"])
+            yield Delay(5)
+            active["count"] -= 1
+            yield V(mutex)
+
+        def main():
+            yield Par(*[lambda: worker() for _ in range(6)])
+
+        kernel.run_process(main)
+        assert active["peak"] == 1
+
+    def test_counters(self, kernel):
+        sem = Semaphore(1)
+
+        def main():
+            yield P(sem)
+            yield V(sem)
+
+        kernel.run_process(main)
+        assert sem.total_p == 1
+        assert sem.total_v == 1
+
+    def test_p_all_v_all(self, kernel):
+        a, b = Semaphore(1), Semaphore(1)
+
+        def main():
+            yield from p_all(a, b)
+            held = (a.value, b.value)
+            yield from v_all(a, b)
+            return held
+
+        assert kernel.run_process(main) == (0, 0)
+        assert (a.value, b.value) == (1, 1)

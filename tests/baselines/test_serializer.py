@@ -1,0 +1,145 @@
+"""Unit tests for the serializer."""
+
+import pytest
+
+from repro.baselines import Serializer
+from repro.kernel import Delay, Kernel, Par
+from repro.kernel.costs import FREE
+
+
+class TestPossession:
+    def test_enter_leave(self, kernel):
+        s = Serializer(kernel)
+
+        def main():
+            yield from s.enter()
+            yield from s.leave()
+            return "ok"
+
+        assert kernel.run_process(main) == "ok"
+
+    def test_possession_is_exclusive(self):
+        kernel = Kernel(costs=FREE)
+        s = Serializer(kernel)
+        active = {"count": 0, "peak": 0}
+
+        def worker():
+            yield from s.enter()
+            active["count"] += 1
+            active["peak"] = max(active["peak"], active["count"])
+            yield Delay(5)
+            active["count"] -= 1
+            yield from s.leave()
+
+        def main():
+            yield Par(*[lambda: worker() for _ in range(4)])
+
+        kernel.run_process(main)
+        assert active["peak"] == 1
+
+
+class TestCrowds:
+    def test_crowd_releases_possession(self):
+        kernel = Kernel(costs=FREE)
+        s = Serializer(kernel)
+        crowd = s.crowd("users")
+
+        def member(tag):
+            yield from s.enter()
+
+            def body():
+                yield Delay(20)
+                return tag
+
+            result = yield from s.join_crowd(crowd, body())
+            yield from s.leave()
+            return result
+
+        def main():
+            return (yield Par(lambda: member("a"), lambda: member("b")))
+
+        assert kernel.run_process(main) == ["a", "b"]
+        # Both were in the crowd simultaneously: total time ~one body.
+        assert kernel.clock.now < 40
+        assert crowd.peak == 2
+
+    def test_crowd_counts(self, kernel):
+        s = Serializer(kernel)
+        crowd = s.crowd("c")
+
+        def main():
+            yield from s.enter()
+
+            def body():
+                yield Delay(1)
+
+            yield from s.join_crowd(crowd, body())
+            yield from s.leave()
+
+        kernel.run_process(main)
+        assert crowd.empty
+        assert crowd.peak == 1
+
+
+class TestQueues:
+    def test_guard_blocks_until_open(self):
+        kernel = Kernel(costs=FREE)
+        s = Serializer(kernel)
+        q = s.queue("q")
+        gate = {"open": False}
+        events = []
+
+        def waiter():
+            yield from s.enter()
+            yield from s.enqueue(q, lambda: gate["open"])
+            events.append(("through", kernel.clock.now))
+            yield from s.leave()
+
+        def opener():
+            yield Delay(25)
+            gate["open"] = True
+            yield from s.enter()
+            yield from s.leave()  # any serializer event re-evaluates heads
+
+        kernel.spawn(waiter)
+        kernel.spawn(opener)
+        kernel.run()
+        assert events and events[0][1] >= 25
+
+    def test_open_guard_passes_straight_through(self, kernel):
+        s = Serializer(kernel)
+        q = s.queue("q")
+
+        def main():
+            yield from s.enter()
+            yield from s.enqueue(q, lambda: True)
+            yield from s.leave()
+            return "passed"
+
+        assert kernel.run_process(main) == "passed"
+
+    def test_queue_priority_order(self):
+        kernel = Kernel(costs=FREE)
+        s = Serializer(kernel)
+        high = s.queue("high", priority=0)
+        low = s.queue("low", priority=1)
+        gate = {"open": False}
+        order = []
+
+        def waiter(tag, q):
+            yield from s.enter()
+            yield from s.enqueue(q, lambda: gate["open"])
+            order.append(tag)
+            yield from s.leave()
+
+        def opener():
+            yield Delay(10)
+            gate["open"] = True
+            yield from s.enter()
+            yield from s.leave()
+
+        kernel.spawn(waiter, "low", low)
+        kernel.spawn(waiter, "high", high)
+        kernel.spawn(opener)
+        kernel.run()
+        assert order[0] == "high"

@@ -1,0 +1,254 @@
+"""Unit tests for asynchronous typed channels (§2.1.2)."""
+
+import pytest
+
+from repro.channels import Channel, Receive, ReceiveGuard, Send, TryReceive
+from repro.errors import ChannelError, ChannelTypeError
+from repro.kernel import Delay, Kernel
+from repro.kernel.costs import FREE
+
+
+class TestTyping:
+    def test_typed_send_accepts_matching(self, kernel):
+        ch = Channel(types=(str, int))
+
+        def main():
+            yield Send(ch, "x", 1)
+            return (yield Receive(ch))
+
+        assert kernel.run_process(main) == ("x", 1)
+
+    def test_arity_mismatch_rejected(self, kernel):
+        ch = Channel(types=(str, int))
+
+        def main():
+            yield Send(ch, "only-one")
+
+        with pytest.raises(ChannelTypeError):
+            kernel.run_process(main)
+
+    def test_type_mismatch_rejected(self, kernel):
+        ch = Channel(types=(int,))
+
+        def main():
+            yield Send(ch, "not-an-int")
+
+        with pytest.raises(ChannelTypeError):
+            kernel.run_process(main)
+
+    def test_none_type_slot_skips_check(self, kernel):
+        ch = Channel(types=(None, int))
+
+        def main():
+            yield Send(ch, object(), 3)
+            return True
+
+        assert kernel.run_process(main)
+
+    def test_untyped_channel_accepts_anything(self, kernel):
+        ch = Channel()
+
+        def main():
+            yield Send(ch, 1, "two", [3])
+            return (yield Receive(ch))
+
+        assert kernel.run_process(main) == (1, "two", [3])
+
+    def test_bool_is_not_int_confusion(self, kernel):
+        # bool is a subclass of int: isinstance check admits it (documented).
+        ch = Channel(types=(int,))
+
+        def main():
+            yield Send(ch, True)
+            return (yield Receive(ch))
+
+        assert kernel.run_process(main) is True
+
+
+class TestAsynchrony:
+    def test_send_does_not_block(self):
+        kernel = Kernel(costs=FREE)
+        ch = Channel()
+
+        def main():
+            for i in range(100):
+                yield Send(ch, i)
+            return kernel.clock.now
+
+        assert kernel.run_process(main, daemon=False) == 0
+        assert len(ch) == 100
+
+    def test_fifo_order(self, kernel):
+        ch = Channel()
+
+        def main():
+            for i in range(5):
+                yield Send(ch, i)
+            got = []
+            for _ in range(5):
+                got.append((yield Receive(ch)))
+            return got
+
+        assert kernel.run_process(main) == [0, 1, 2, 3, 4]
+
+    def test_receive_blocks_until_send(self):
+        kernel = Kernel(costs=FREE)
+        ch = Channel()
+
+        def sender():
+            yield Delay(40)
+            yield Send(ch, "eventually")
+
+        def receiver():
+            value = yield Receive(ch)
+            return (value, kernel.clock.now)
+
+        kernel.spawn(sender)
+        proc = kernel.spawn(receiver)
+        kernel.run()
+        assert proc.result == ("eventually", 40)
+
+    def test_single_element_unwrapped(self, kernel):
+        ch = Channel()
+
+        def main():
+            yield Send(ch, "alone")
+            return (yield Receive(ch))
+
+        assert kernel.run_process(main) == "alone"
+
+    def test_try_receive_default(self, kernel):
+        ch = Channel()
+
+        def main():
+            empty = yield TryReceive(ch, default="nothing")
+            yield Send(ch, 1)
+            nonempty = yield TryReceive(ch, default="nothing")
+            return (empty, nonempty)
+
+        assert kernel.run_process(main) == ("nothing", 1)
+
+    def test_receive_with_condition(self, kernel):
+        ch = Channel()
+
+        def main():
+            yield Send(ch, 2)
+            yield Send(ch, 8)
+            big = yield Receive(ch, when=lambda v: v > 4)
+            small = yield Receive(ch)
+            return (big, small)
+
+        assert kernel.run_process(main) == (8, 2)
+
+
+class TestBoundedChannels:
+    def test_send_blocks_when_full(self):
+        kernel = Kernel(costs=FREE)
+        ch = Channel(capacity=2)
+        progress = []
+
+        def sender():
+            for i in range(4):
+                yield Send(ch, i)
+                progress.append(i)
+
+        def receiver():
+            yield Delay(10)
+            got = []
+            for _ in range(4):
+                got.append((yield Receive(ch)))
+            return got
+
+        kernel.spawn(sender)
+        proc = kernel.spawn(receiver)
+        kernel.run(until=5)
+        assert progress == [0, 1]  # third send is blocked
+        kernel.run()
+        assert proc.result == [0, 1, 2, 3]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ChannelError):
+            Channel(capacity=0)
+
+    def test_blocked_senders_fifo(self):
+        kernel = Kernel(costs=FREE)
+        ch = Channel(capacity=1)
+
+        def sender(tag):
+            yield Send(ch, tag)
+
+        def receiver():
+            yield Delay(5)
+            got = []
+            for _ in range(3):
+                got.append((yield Receive(ch)))
+            return got
+
+        for tag in ("a", "b", "c"):
+            kernel.spawn(sender, tag)
+        proc = kernel.spawn(receiver)
+        kernel.run()
+        assert proc.result == ["a", "b", "c"]
+
+
+class TestClose:
+    def test_send_on_closed_raises(self, kernel):
+        ch = Channel()
+        ch.close()
+
+        def main():
+            yield Send(ch, 1)
+
+        with pytest.raises(ChannelError):
+            kernel.run_process(main)
+
+    def test_closed_channel_drains(self, kernel):
+        ch = Channel()
+
+        def main():
+            yield Send(ch, 1)
+            ch.close()
+            return (yield Receive(ch))
+
+        assert kernel.run_process(main) == 1
+
+    def test_receive_guard_infeasible_after_drain(self, kernel):
+        from repro.errors import GuardExhaustedError
+        from repro.kernel import Select
+
+        ch = Channel()
+        ch.close()
+
+        def main():
+            yield Select(ReceiveGuard(ch))
+
+        with pytest.raises(GuardExhaustedError):
+            kernel.run_process(main)
+
+
+class TestCounters:
+    def test_total_sent_received(self, kernel):
+        ch = Channel()
+
+        def main():
+            for i in range(3):
+                yield Send(ch, i)
+            yield Receive(ch)
+            return None
+
+        kernel.run_process(main)
+        assert ch.total_sent == 3
+        assert ch.total_received == 1
+        assert len(ch) == 2
+
+    def test_kernel_stats_sends_receives(self):
+        kernel = Kernel()
+        ch = Channel()
+
+        def main():
+            yield Send(ch, 1)
+            yield Receive(ch)
+
+        kernel.run_process(main)
+        assert kernel.stats.sends == 1
+        assert kernel.stats.receives == 1

@@ -1,0 +1,96 @@
+"""Tests for channel composition helpers (arrays, matrix, mailboxes)."""
+
+import pytest
+
+from repro.channels import Channel, Mailbox, Receive, Send, broadcast, channel_array, channel_matrix
+from repro.errors import ChannelError
+from repro.kernel import Kernel, Par
+
+
+class TestChannelArray:
+    def test_creates_named_channels(self):
+        chans = channel_array(3, name="c")
+        assert [c.name for c in chans] == ["c[0]", "c[1]", "c[2]"]
+
+    def test_types_propagate(self):
+        chans = channel_array(2, types=(int,))
+        assert chans[0].types == (int,)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ChannelError):
+            channel_array(-1)
+
+    def test_channels_are_independent(self, kernel):
+        chans = channel_array(2)
+
+        def main():
+            yield Send(chans[0], "zero")
+            yield Send(chans[1], "one")
+            return ((yield Receive(chans[1])), (yield Receive(chans[0])))
+
+        assert kernel.run_process(main) == ("one", "zero")
+
+
+class TestChannelMatrix:
+    def test_shape(self):
+        matrix = channel_matrix(2, 3)
+        assert len(matrix) == 2
+        assert len(matrix[0]) == 3
+        assert matrix[1][2].name == "chan[1][2]"
+
+
+class TestBroadcast:
+    def test_sends_to_all(self, kernel):
+        chans = channel_array(4)
+
+        def main():
+            yield from broadcast(chans, "hello")
+            got = []
+            for ch in chans:
+                got.append((yield Receive(ch)))
+            return got
+
+        assert kernel.run_process(main) == ["hello"] * 4
+
+
+class TestMailbox:
+    def test_request_reply_roundtrip(self, kernel):
+        box = Mailbox("rpc")
+
+        def server():
+            request = yield Receive(box.request)
+            yield Send(box.reply, request * 2)
+
+        def client():
+            yield Send(box.request, 21)
+            return (yield Receive(box.reply))
+
+        def main():
+            results = yield Par(lambda: server(), lambda: client())
+            return results[1]
+
+        assert kernel.run_process(main) == 42
+
+    def test_channels_are_first_class(self, kernel):
+        # §2.1.2: channels can be passed as message values.
+        carrier = Channel()
+
+        def sender():
+            private = Channel(name="private")
+            yield Send(carrier, private)
+            return (yield Receive(private))
+
+        def responder():
+            private = yield Receive(carrier)
+            yield Send(private, "via-private")
+
+        def main():
+            results = yield Par(lambda: sender(), lambda: responder())
+            return results[0]
+
+        assert kernel.run_process(main) == "via-private"
+
+    def test_close_closes_both(self):
+        box = Mailbox()
+        box.close()
+        assert box.request.closed and box.reply.closed

@@ -1,0 +1,72 @@
+"""Unit tests for the Call record and its life-cycle bookkeeping."""
+
+import pytest
+
+from repro.core.calls import Call, CallState
+from repro.core.entry import entry, icpt
+from repro.errors import ProtocolError
+
+
+def make_spec(**kwargs):
+    defaults = dict(returns=1)
+    defaults.update(kwargs)
+
+    @entry(**defaults)
+    def op(self, a, b):
+        return a
+
+    return op
+
+
+class TestCallViews:
+    def test_initial_state(self):
+        call = Call(None, make_spec(), (1, 2), None)
+        assert call.state == CallState.PENDING
+        assert call.slot is None
+        assert not call.combined
+
+    def test_intercepted_args_prefix(self):
+        spec = make_spec()
+        spec.intercept = icpt(params=1)
+        call = Call(None, spec, ("first", "second"), None)
+        assert call.intercepted_args == ("first",)
+
+    def test_intercepted_results_before_body_rejected(self):
+        spec = make_spec()
+        spec.intercept = icpt(results=1)
+        call = Call(None, spec, (1, 2), None)
+        with pytest.raises(ProtocolError):
+            call.intercepted_results
+
+    def test_result_views_after_body(self):
+        @entry(returns=2, hidden_results=1)
+        def op(self, a):
+            return (1, 2, 3)
+
+        op.intercept = icpt(results=1)
+        call = Call(None, op, (0,), None)
+        call.body_results = ("visible1", "visible2", "hidden")
+        assert call.intercepted_results == ("visible1",)
+        assert call.hidden_results == ("hidden",)
+
+    def test_metrics_none_until_complete(self):
+        call = Call(None, make_spec(), (1, 2), None)
+        assert call.response_time is None
+        assert call.queue_time is None
+        call.issued_at = 10
+        call.accepted_at = 25
+        call.finished_at = 60
+        assert call.queue_time == 15
+        assert call.response_time == 50
+
+    def test_expect_state(self):
+        call = Call(None, make_spec(), (1, 2), None)
+        call._expect_state(CallState.PENDING)  # no raise
+        with pytest.raises(ProtocolError):
+            call._expect_state(CallState.STARTED, CallState.DONE)
+
+    def test_call_ids_unique(self):
+        spec = make_spec()
+        a = Call(None, spec, (1, 2), None)
+        b = Call(None, spec, (1, 2), None)
+        assert a.call_id != b.call_id

@@ -1,0 +1,219 @@
+"""Tests for request combining (§2.7) and the Combiner helper."""
+
+import pytest
+
+from repro.core import (
+    AcceptGuard,
+    AlpsObject,
+    AwaitGuard,
+    Combiner,
+    Finish,
+    Start,
+    entry,
+    icpt,
+    manager_process,
+)
+from repro.core.calls import Call, CallState
+from repro.errors import ProtocolError
+from repro.kernel import Delay, Kernel, Par, Select
+from repro.kernel.costs import FREE
+
+
+class TestCombinerHelper:
+    def _call(self):
+        from repro.core.entry import entry as entry_dec
+
+        @entry_dec(returns=1)
+        def op(self, x):
+            return x
+
+        return Call(None, op, ("k",), None)
+
+    def test_first_join_is_leader(self):
+        combiner = Combiner()
+        assert combiner.join("k", self._call()) is True
+        assert combiner.join("k", self._call()) is False
+        assert combiner.join("k", self._call()) is False
+        assert combiner.leaders == 1
+        assert combiner.followers == 2
+
+    def test_settle_returns_followers(self):
+        combiner = Combiner()
+        combiner.join("k", self._call())
+        f1, f2 = self._call(), self._call()
+        combiner.join("k", f1)
+        combiner.join("k", f2)
+        assert combiner.settle("k") == [f1, f2]
+        assert "k" not in combiner
+
+    def test_settle_unknown_key_empty(self):
+        assert Combiner().settle("missing") == []
+
+    def test_independent_keys(self):
+        combiner = Combiner()
+        assert combiner.join("a", self._call())
+        assert combiner.join("b", self._call())
+        assert combiner.waiting_on("a") == 0
+        combiner.join("a", self._call())
+        assert combiner.waiting_on("a") == 1
+        assert len(combiner) == 2
+
+
+class TestFinishWithoutStart:
+    def test_manager_fabricates_results(self, kernel):
+        class Oracle(AlpsObject):
+            @entry(returns=1)
+            def ask(self):
+                raise AssertionError("never started")
+
+            @manager_process(intercepts=["ask"])
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "ask"))
+                    yield Finish(result.value, 42)
+
+        obj = Oracle(kernel)
+
+        def main():
+            return (yield obj.ask())
+
+        assert kernel.run_process(main) == 42
+        assert kernel.stats.calls_combined == 1
+        assert kernel.stats.starts == 0
+
+    def test_combining_must_supply_all_results(self, kernel):
+        class Bad(AlpsObject):
+            @entry(returns=2)
+            def ask(self):
+                raise AssertionError
+
+            @manager_process(intercepts=["ask"])
+            def mgr(self):
+                result = yield Select(AcceptGuard(self, "ask"))
+                yield Finish(result.value, "only-one")  # needs two
+
+        obj = Bad(kernel)
+
+        def main():
+            yield obj.ask()
+
+        with pytest.raises(ProtocolError):
+            kernel.run_process(main)
+
+    def test_combined_call_marked(self, kernel):
+        class Oracle(AlpsObject):
+            @entry(returns=1)
+            def ask(self):
+                raise AssertionError
+
+            @manager_process(intercepts=["ask"])
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "ask"))
+                    yield Finish(result.value, 1)
+
+        obj = Oracle(kernel, record_calls=True)
+
+        def main():
+            return (yield obj.ask())
+
+        kernel.run_process(main)
+        call = obj.completed_calls("ask")[0]
+        assert call.combined
+        assert call.state == CallState.DONE
+        assert call.started_at is None
+
+
+class TestCombiningEndToEnd:
+    def _searcher(self, kernel, combining=True):
+        executions = []
+
+        class Search(AlpsObject):
+            @entry(returns=1, array=8)
+            def search(self, word):
+                executions.append(word)
+                yield Delay(100)
+                return f"meaning-of-{word}"
+
+            @manager_process(intercepts={"search": icpt(params=1, results=1)})
+            def mgr(self):
+                combiner = Combiner()
+                while True:
+                    result = yield Select(
+                        AcceptGuard(self, "search"),
+                        AwaitGuard(self, "search"),
+                    )
+                    call = result.value
+                    if isinstance(result.guard, AcceptGuard):
+                        (word,) = call.intercepted_args
+                        if combining and not combiner.join(word, call):
+                            continue
+                        yield Start(call)
+                    else:
+                        (meaning,) = call.intercepted_results
+                        yield Finish(call, meaning)
+                        if combining:
+                            for follower in combiner.settle(call.args[0]):
+                                yield Finish(follower, meaning)
+
+        return Search(kernel), executions
+
+    def test_duplicates_combined_into_one_execution(self):
+        kernel = Kernel(costs=FREE)
+        obj, executions = self._searcher(kernel)
+
+        def caller():
+            return (yield obj.search("cat"))
+
+        def main():
+            return (yield Par(*[lambda: caller() for _ in range(6)]))
+
+        results = kernel.run_process(main)
+        assert results == ["meaning-of-cat"] * 6
+        assert executions == ["cat"]  # one body served six callers
+        assert kernel.stats.calls_combined == 5
+
+    def test_distinct_keys_not_combined(self):
+        kernel = Kernel(costs=FREE)
+        obj, executions = self._searcher(kernel)
+
+        def caller(word):
+            return (yield obj.search(word))
+
+        def main():
+            return (yield Par(lambda: caller("a"), lambda: caller("b")))
+
+        assert kernel.run_process(main) == ["meaning-of-a", "meaning-of-b"]
+        assert sorted(executions) == ["a", "b"]
+        assert kernel.stats.calls_combined == 0
+
+    def test_combining_off_executes_every_request(self):
+        kernel = Kernel(costs=FREE)
+        obj, executions = self._searcher(kernel, combining=False)
+
+        def caller():
+            return (yield obj.search("cat"))
+
+        def main():
+            return (yield Par(*[lambda: caller() for _ in range(4)]))
+
+        assert kernel.run_process(main) == ["meaning-of-cat"] * 4
+        assert len(executions) == 4
+
+    def test_combining_saves_work(self):
+        # Each avoided body execution is 100 ticks of simulated CPU saved.
+        def work_done(combining):
+            kernel = Kernel(costs=FREE)
+            obj, executions = self._searcher(kernel, combining=combining)
+
+            def caller():
+                return (yield obj.search("hot"))
+
+            def main():
+                yield Par(*[lambda: caller() for _ in range(8)])
+
+            kernel.run_process(main)
+            return len(executions)
+
+        assert work_done(True) == 1
+        assert work_done(False) == 8

@@ -1,0 +1,169 @@
+"""Unit tests for entry declarations (@entry/@local, EntrySpec)."""
+
+import pytest
+
+from repro.core.entry import EntrySpec, Intercept, entry, icpt, local
+from repro.errors import ObjectModelError
+
+
+class TestEntryDecorator:
+    def test_bare_decorator(self):
+        @entry
+        def deposit(self, msg):
+            pass
+
+        assert isinstance(deposit, EntrySpec)
+        assert deposit.name == "deposit"
+        assert deposit.params == 1
+        assert deposit.returns == 0
+        assert deposit.exported
+
+    def test_decorator_with_arguments(self):
+        @entry(returns=2, array=5, hidden_params=1, hidden_results=1)
+        def search(self, word, place):
+            pass
+
+        assert search.params == 1  # word only; place is hidden
+        assert search.returns == 2
+        assert search.hidden_params == 1
+        assert search.total_results == 3
+        assert search.array == 5
+
+    def test_local_not_exported(self):
+        @local
+        def helper(self):
+            pass
+
+        assert not helper.exported
+
+    def test_varargs_rejected(self):
+        with pytest.raises(ObjectModelError):
+            @entry
+            def bad(self, *args):
+                pass
+
+    def test_kwargs_rejected(self):
+        with pytest.raises(ObjectModelError):
+            @entry
+            def bad(self, **kwargs):
+                pass
+
+    def test_hidden_params_exceeding_formals_rejected(self):
+        with pytest.raises(ObjectModelError):
+            @entry(hidden_params=3)
+            def bad(self, a):
+                pass
+
+    def test_negative_returns_rejected(self):
+        with pytest.raises(ObjectModelError):
+            @entry(returns=-1)
+            def bad(self):
+                pass
+
+
+class TestArrayResolution:
+    def test_int_array(self):
+        @entry(array=7)
+        def p(self):
+            pass
+
+        assert p.resolve_array(object()) == 7
+
+    def test_attribute_array(self):
+        @entry(array="read_max")
+        def p(self):
+            pass
+
+        class Holder:
+            read_max = 12
+
+        assert p.resolve_array(Holder()) == 12
+
+    def test_no_array_means_one(self):
+        @entry
+        def p(self):
+            pass
+
+        assert p.resolve_array(object()) == 1
+
+    def test_missing_attribute_rejected(self):
+        @entry(array="nope")
+        def p(self):
+            pass
+
+        with pytest.raises(ObjectModelError):
+            p.resolve_array(object())
+
+    def test_nonpositive_size_rejected(self):
+        @entry(array="n")
+        def p(self):
+            pass
+
+        class Holder:
+            n = 0
+
+        with pytest.raises(ObjectModelError):
+            p.resolve_array(Holder())
+
+
+class TestNormalizeResults:
+    def test_zero_results(self):
+        @entry
+        def p(self):
+            pass
+
+        assert p.normalize_results(None) == ()
+
+    def test_zero_results_with_value_rejected(self):
+        @entry
+        def p(self):
+            pass
+
+        with pytest.raises(ObjectModelError):
+            p.normalize_results("unexpected")
+
+    def test_single_result_wrapped(self):
+        @entry(returns=1)
+        def p(self):
+            pass
+
+        assert p.normalize_results("v") == ("v",)
+
+    def test_single_result_tuple_value_preserved(self):
+        # A body returning a tuple *as its one value* keeps it intact.
+        @entry(returns=1)
+        def p(self):
+            pass
+
+        assert p.normalize_results((1, 2)) == ((1, 2),)
+
+    def test_multi_results_require_tuple(self):
+        @entry(returns=2)
+        def p(self):
+            pass
+
+        assert p.normalize_results((1, 2)) == (1, 2)
+        with pytest.raises(ObjectModelError):
+            p.normalize_results([1, 2])
+        with pytest.raises(ObjectModelError):
+            p.normalize_results((1,))
+
+
+class TestSignature:
+    def test_signature_hides_hidden_params(self):
+        @entry(returns=1, hidden_params=1)
+        def search(self, word, place):
+            pass
+
+        sig = search.signature()
+        assert "word" in sig
+        assert "place" not in sig  # hidden from the definition part
+
+
+class TestIcpt:
+    def test_icpt_constructor(self):
+        spec = icpt(params=2, results=1)
+        assert spec == Intercept(params=2, results=1)
+
+    def test_defaults(self):
+        assert icpt() == Intercept(0, 0)

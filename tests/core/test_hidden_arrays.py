@@ -1,0 +1,262 @@
+"""Tests of hidden procedure arrays (§2.5): attachment, slot reuse,
+overflow queueing, per-slot accepts, arbitration."""
+
+import pytest
+
+from repro.core import (
+    AcceptGuard,
+    AlpsObject,
+    AwaitGuard,
+    Finish,
+    Start,
+    entry,
+    manager_process,
+)
+from repro.kernel import Delay, Kernel, Par, Select
+from repro.kernel.costs import FREE
+
+
+class ArrayObj(AlpsObject):
+    """Entry implemented as a 3-element hidden array."""
+
+    @entry(returns=1, array=3)
+    def op(self, n):
+        yield Delay(50)
+        return n * 2
+
+    @manager_process(intercepts=["op"])
+    def mgr(self):
+        while True:
+            result = yield Select(
+                AcceptGuard(self, "op"),
+                AwaitGuard(self, "op"),
+            )
+            if isinstance(result.guard, AcceptGuard):
+                yield Start(result.value)
+            else:
+                yield Finish(result.value)
+
+
+class TestAttachment:
+    def test_array_invisible_to_callers(self, kernel):
+        # Users call op as a single procedure (§2.5: "the user processes
+        # should not be aware of the array structure").
+        obj = ArrayObj(kernel)
+
+        def main():
+            return (yield obj.op(21))
+
+        assert kernel.run_process(main) == 42
+
+    def test_up_to_n_calls_attach_and_run_concurrently(self):
+        kernel = Kernel(costs=FREE)
+        obj = ArrayObj(kernel)
+
+        def caller(n):
+            return (yield obj.op(n))
+
+        def main():
+            return (yield Par(*[lambda i=i: caller(i) for i in range(3)]))
+
+        assert kernel.run_process(main) == [0, 2, 4]
+        assert kernel.clock.now == 50  # all three bodies overlapped
+
+    def test_excess_calls_wait_for_free_slot(self):
+        # §2.5: "If there are more requests than can be accommodated in
+        # the procedure array P, the remaining requests continue to wait."
+        kernel = Kernel(costs=FREE)
+        obj = ArrayObj(kernel)
+
+        def caller(n):
+            return (yield obj.op(n))
+
+        def main():
+            return (yield Par(*[lambda i=i: caller(i) for i in range(7)]))
+
+        assert sorted(kernel.run_process(main)) == [0, 2, 4, 6, 8, 10, 12]
+        # 7 calls over 3 slots of 50 ticks each: ceil(7/3)=3 waves.
+        assert kernel.clock.now == 150
+
+    def test_slots_assigned_distinct(self):
+        kernel = Kernel(costs=FREE)
+        slots = []
+
+        class SlotSpy(AlpsObject):
+            @entry(array=4)
+            def op(self):
+                pass
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "op"))
+                    slots.append(result.value.slot)
+                    yield from self.execute(result.value)
+
+        obj = SlotSpy(kernel)
+
+        def caller():
+            yield obj.op()
+
+        def main():
+            yield Par(*[lambda: caller() for _ in range(4)])
+
+        kernel.run_process(main)
+        assert sorted(slots) == [0, 1, 2, 3]
+
+    def test_random_arbitration_attaches_to_random_free_slot(self):
+        kernel = Kernel(costs=FREE, seed=5, arbitration="random")
+        obj = ArrayObj(kernel)
+
+        def caller(n):
+            return (yield obj.op(n))
+
+        def main():
+            return (yield Par(*[lambda i=i: caller(i) for i in range(3)]))
+
+        # Semantics unchanged regardless of slot choice.
+        assert kernel.run_process(main) == [0, 2, 4]
+
+
+class TestPerSlotAccept:
+    def test_accept_specific_slot(self):
+        kernel = Kernel(costs=FREE)
+        served = []
+
+        class OneSlot(AlpsObject):
+            @entry(array=2)
+            def op(self, tag):
+                served.append(tag)
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                # Only ever accept slot 0.
+                while True:
+                    result = yield Select(AcceptGuard(self, "op", slot=0))
+                    yield from self.execute(result.value)
+
+        obj = OneSlot(kernel)
+
+        def main():
+            # Sequential calls: each attaches to the lowest free index,
+            # which is 0 once the previous call finished.
+            yield obj.op("a")
+            yield obj.op("b")
+
+        kernel.run_process(main)
+        assert served == ["a", "b"]
+
+    def test_attachment_is_permanent(self):
+        # A call attached to P[1] stays attached to P[1]; a manager that
+        # only accepts P[0] never serves it (§2.5: attachment happens on
+        # arrival, before any accept).
+        from repro.errors import DeadlockError
+
+        kernel = Kernel(costs=FREE)
+
+        class OneSlot(AlpsObject):
+            @entry(array=2)
+            def op(self, tag):
+                pass
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "op", slot=0))
+                    yield from self.execute(result.value)
+
+        obj = OneSlot(kernel)
+
+        def caller(tag):
+            yield obj.op(tag)
+
+        def main():
+            yield Par(lambda: caller("a"), lambda: caller("b"))
+
+        with pytest.raises(DeadlockError):
+            kernel.run_process(main)
+
+    def test_await_specific_slot(self):
+        kernel = Kernel(costs=FREE)
+
+        class TwoPhase(AlpsObject):
+            @entry(returns=1, array=2)
+            def op(self, n):
+                yield Delay(10 * (n + 1))
+                return n
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                first = yield Select(AcceptGuard(self, "op"))
+                yield Start(first.value)
+                second = yield Select(AcceptGuard(self, "op"))
+                yield Start(second.value)
+                # Await specifically the *second* call's slot.
+                done2 = yield self.await_("op", slot=second.value.slot)
+                yield Finish(done2)
+                done1 = yield self.await_("op", slot=first.value.slot)
+                yield Finish(done1)
+                # Manager ends: fine for a one-shot test object.
+
+        obj = TwoPhase(kernel)
+        finish_order = []
+
+        def caller(n):
+            value = yield obj.op(n)
+            finish_order.append(value)
+
+        def main():
+            yield Par(lambda: caller(0), lambda: caller(5))
+
+        kernel.run_process(main)
+        assert finish_order == [5, 0]  # slot-targeted await reversed order
+
+
+class TestSlotReuse:
+    def test_slot_not_reusable_until_finish(self):
+        # §2.5: "Another request is not attached to P[i] until the
+        # currently attached request is processed by P[i], i.e., until the
+        # manager executes a finish P[i]."
+        kernel = Kernel(costs=FREE)
+        timeline = []
+
+        class OneSlotSpy(AlpsObject):
+            @entry(array=1)
+            def op(self, tag):
+                pass
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "op"))
+                    call = result.value
+                    timeline.append(("accept", call.args[0], kernel.clock.now))
+                    yield Start(call)
+                    done = yield self.await_("op", call=call)
+                    yield Delay(20)  # hold the slot after body completion
+                    yield Finish(done)
+
+        obj = OneSlotSpy(kernel)
+
+        def caller(tag):
+            yield obj.op(tag)
+
+        def main():
+            yield Par(lambda: caller("x"), lambda: caller("y"))
+
+        kernel.run_process(main)
+        accepts = [t for kind, _tag, t in timeline if kind == "accept"]
+        assert accepts[1] >= accepts[0] + 20  # second waited for finish
+
+    def test_many_waves_through_small_array(self):
+        kernel = Kernel(costs=FREE)
+        obj = ArrayObj(kernel)
+
+        def caller(n):
+            return (yield obj.op(n))
+
+        def main():
+            return (yield Par(*[lambda i=i: caller(i) for i in range(20)]))
+
+        results = kernel.run_process(main)
+        assert sorted(results) == [i * 2 for i in range(20)]

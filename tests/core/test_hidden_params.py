@@ -1,0 +1,150 @@
+"""Tests for hidden parameters and hidden results (§2.8)."""
+
+import pytest
+
+from repro.core import (
+    AcceptGuard,
+    AlpsObject,
+    AwaitGuard,
+    Finish,
+    Start,
+    entry,
+    manager_process,
+)
+from repro.errors import ProtocolError
+from repro.kernel import Kernel, Par, Select
+
+
+class TestHiddenParameters:
+    def test_manager_supplies_hidden_param_at_start(self, kernel):
+        class Hidden(AlpsObject):
+            @entry(returns=1)
+            def op(self, visible, secret):
+                return (visible, secret)
+
+        # Rebuild with manager (hidden params require interception).
+        class Hidden(AlpsObject):  # noqa: F811
+            @entry(returns=1, hidden_params=1)
+            def op(self, visible, secret):
+                return (visible, secret)
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "op"))
+                    yield from self.execute(result.value, "injected")
+
+        obj = Hidden(kernel)
+
+        def main():
+            return (yield obj.op("user-arg"))
+
+        assert kernel.run_process(main) == ("user-arg", "injected")
+
+    def test_callers_cannot_pass_hidden_params(self, kernel):
+        from repro.errors import CallError
+
+        class Hidden(AlpsObject):
+            @entry(hidden_params=1)
+            def op(self, secret):
+                pass
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "op"))
+                    yield from self.execute(result.value, 0)
+
+        obj = Hidden(kernel)
+
+        def main():
+            yield obj.op("trying-to-pass-secret")
+
+        with pytest.raises(CallError):
+            kernel.run_process(main)
+
+    def test_start_arity_checked(self, kernel):
+        class Hidden(AlpsObject):
+            @entry(hidden_params=2)
+            def op(self, a, b):
+                pass
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                result = yield Select(AcceptGuard(self, "op"))
+                yield Start(result.value, "only-one")  # needs two
+
+        obj = Hidden(kernel)
+
+        def main():
+            yield obj.op()
+
+        with pytest.raises(ProtocolError):
+            kernel.run_process(main)
+
+
+class TestHiddenResults:
+    def test_hidden_result_visible_to_manager_only(self, kernel):
+        manager_saw = []
+
+        class Hidden(AlpsObject):
+            @entry(returns=1, hidden_results=1)
+            def op(self):
+                return ("public", "private")
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "op"))
+                    call = result.value
+                    yield Start(call)
+                    done = yield self.await_("op", call=call)
+                    manager_saw.append(done.hidden_results)
+                    yield Finish(done)
+
+        obj = Hidden(kernel)
+
+        def main():
+            return (yield obj.op())
+
+        assert kernel.run_process(main) == "public"  # caller: public only
+        assert manager_saw == [("private",)]
+
+    def test_round_trip_allocation_pattern(self, kernel):
+        # The §2.8.1 pattern: hidden param hands out a resource, hidden
+        # result returns it, manager needs no allocation table.
+        class Alloc(AlpsObject):
+            def setup(self):
+                self.free = [0, 1]
+
+            @entry(returns=1, array=2, hidden_params=1, hidden_results=1)
+            def op(self, resource):
+                return (f"used-{resource}", resource)
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                while True:
+                    result = yield Select(
+                        AcceptGuard(self, "op", when=lambda: bool(self.free)),
+                        AwaitGuard(self, "op"),
+                    )
+                    call = result.value
+                    if isinstance(result.guard, AcceptGuard):
+                        yield Start(call, self.free.pop(0))
+                    else:
+                        (returned,) = call.hidden_results
+                        self.free.append(returned)
+                        yield Finish(call)
+
+        obj = Alloc(kernel)
+
+        def caller():
+            return (yield obj.op())
+
+        def main():
+            return (yield Par(*[lambda: caller() for _ in range(6)]))
+
+        results = kernel.run_process(main)
+        assert len(results) == 6
+        assert set(results) <= {"used-0", "used-1"}
+        assert sorted(obj.free) == [0, 1]  # all resources returned

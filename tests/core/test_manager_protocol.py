@@ -1,0 +1,476 @@
+"""Tests of the accept/start/await/finish protocol (§2.3, §2.6)."""
+
+import pytest
+
+from repro.core import (
+    AcceptGuard,
+    AlpsObject,
+    AwaitGuard,
+    Finish,
+    Start,
+    entry,
+    icpt,
+    manager_process,
+)
+from repro.core.calls import CallState
+from repro.errors import ProtocolError
+from repro.kernel import Delay, Kernel, Par, Select
+from repro.kernel.costs import FREE
+
+
+class Echo(AlpsObject):
+    """Minimal managed object used across protocol tests."""
+
+    @entry(returns=1)
+    def echo(self, x):
+        return x
+
+    @manager_process(intercepts={"echo": icpt(params=1, results=1)})
+    def mgr(self):
+        while True:
+            result = yield Select(AcceptGuard(self, "echo"))
+            call = result.value
+            yield Start(call)
+            done = yield self.await_("echo", call=call)
+            yield Finish(done)
+
+
+class TestRendezvous:
+    def test_call_waits_for_accept(self):
+        # A call issued before the manager reaches accept is delayed, not
+        # lost (§2.3: "if a user invocation arrives first, it is delayed
+        # until the manager executes a corresponding accept").
+        kernel = Kernel(costs=FREE)
+
+        class SlowManager(AlpsObject):
+            @entry(returns=1)
+            def op(self):
+                return "served"
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                yield Delay(50)  # manager busy before first accept
+                while True:
+                    result = yield Select(AcceptGuard(self, "op"))
+                    yield from self.execute(result.value)
+
+        obj = SlowManager(kernel)
+
+        def main():
+            value = yield obj.op()
+            return (value, kernel.clock.now)
+
+        value, finished = kernel.run_process(main)
+        assert value == "served"
+        assert finished >= 50
+
+    def test_manager_waits_for_call(self, kernel):
+        obj = Echo(kernel)
+
+        def main():
+            yield Delay(30)
+            return (yield obj.echo("hi"))
+
+        assert kernel.run_process(main) == "hi"
+
+    def test_caller_blocked_until_finish(self):
+        kernel = Kernel(costs=FREE)
+
+        class HoldFinish(AlpsObject):
+            @entry(returns=1)
+            def op(self):
+                return "result"
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                result = yield Select(AcceptGuard(self, "op"))
+                call = result.value
+                yield Start(call)
+                done = yield self.await_("op", call=call)
+                yield Delay(100)  # manager dawdles before finishing
+                yield Finish(done)
+                # Manager ends: fine for a one-shot test object.
+
+        obj = HoldFinish(kernel)
+
+        def main():
+            value = yield obj.op()
+            return (value, kernel.clock.now)
+
+        value, finished = kernel.run_process(main)
+        assert value == "result"
+        assert finished >= 100
+
+
+class TestInterceptedParameters:
+    def test_manager_sees_initial_subsequence(self, kernel):
+        seen = []
+
+        class Inspect(AlpsObject):
+            @entry(returns=1)
+            def op(self, a, b, c):
+                return a + b + c
+
+            @manager_process(intercepts={"op": icpt(params=2)})
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "op"))
+                    seen.append(result.value.intercepted_args)
+                    yield from self.execute(result.value)
+
+        obj = Inspect(kernel)
+
+        def main():
+            return (yield obj.op(1, 2, 3))
+
+        assert kernel.run_process(main) == 6
+        assert seen == [(1, 2)]  # only the intercepted prefix
+
+    def test_acceptance_condition_on_params(self, kernel):
+        # The procedure array is what lets the condition *overtake*: with
+        # several calls attached simultaneously, the guard can accept the
+        # even one while the odd one sits in its slot.
+        class Guarded(AlpsObject):
+            @entry(returns=1, array=4)
+            def op(self, n):
+                return n
+
+            @manager_process(intercepts={"op": icpt(params=1)})
+            def mgr(self):
+                while True:
+                    result = yield Select(
+                        AcceptGuard(self, "op", when=lambda n: n % 2 == 0)
+                    )
+                    yield from self.execute(result.value)
+
+        obj = Guarded(kernel)
+        order = []
+
+        def caller(n):
+            value = yield obj.op(n)
+            order.append(value)
+
+        def main():
+            yield Par(lambda: caller(3), lambda: caller(4))
+
+        # Odd request never accepted -> its caller deadlocks the par.
+        from repro.errors import DeadlockError
+
+        with pytest.raises(DeadlockError):
+            kernel.run_process(main)
+        assert order == [4]
+
+    def test_single_slot_head_of_line_blocking(self, kernel):
+        # Contrast: without an array only one call can be attached, so an
+        # acceptance condition cannot skip past it (§2.5 motivates arrays
+        # precisely to identify multiple requests separately).
+        from repro.errors import DeadlockError
+
+        class Guarded(AlpsObject):
+            @entry(returns=1)
+            def op(self, n):
+                return n
+
+            @manager_process(intercepts={"op": icpt(params=1)})
+            def mgr(self):
+                while True:
+                    result = yield Select(
+                        AcceptGuard(self, "op", when=lambda n: n % 2 == 0)
+                    )
+                    yield from self.execute(result.value)
+
+        obj = Guarded(kernel)
+        served = []
+
+        def caller(n):
+            served.append((yield obj.op(n)))
+
+        def main():
+            yield Par(lambda: caller(3), lambda: caller(4))
+
+        with pytest.raises(DeadlockError):
+            kernel.run_process(main)
+        assert served == []  # the odd head blocked the even request too
+
+
+class TestInterceptedResults:
+    def test_manager_can_rewrite_results(self, kernel):
+        class Censor(AlpsObject):
+            @entry(returns=1)
+            def op(self):
+                return "secret"
+
+            @manager_process(intercepts={"op": icpt(results=1)})
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "op"))
+                    call = result.value
+                    yield Start(call)
+                    done = yield self.await_("op", call=call)
+                    assert done.intercepted_results == ("secret",)
+                    yield Finish(done, "REDACTED")
+
+        obj = Censor(kernel)
+
+        def main():
+            return (yield obj.op())
+
+        assert kernel.run_process(main) == "REDACTED"
+
+    def test_passthrough_finish_preserves_results(self, kernel):
+        obj = Echo(kernel)
+
+        def main():
+            return (yield obj.echo(123))
+
+        assert kernel.run_process(main) == 123
+
+    def test_uninterceped_suffix_flows_directly(self, kernel):
+        class Partial(AlpsObject):
+            @entry(returns=2)
+            def op(self):
+                return ("managed", "direct")
+
+            @manager_process(intercepts={"op": icpt(results=1)})
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "op"))
+                    call = result.value
+                    yield Start(call)
+                    done = yield self.await_("op", call=call)
+                    yield Finish(done, "ALTERED")
+
+        obj = Partial(kernel)
+
+        def main():
+            return (yield obj.op())
+
+        # First result (intercepted) altered; second flows from the body.
+        assert kernel.run_process(main) == ("ALTERED", "direct")
+
+    def test_wrong_finish_arity_rejected(self, kernel):
+        class Bad(AlpsObject):
+            @entry(returns=1)
+            def op(self):
+                return 1
+
+            @manager_process(intercepts={"op": icpt(results=1)})
+            def mgr(self):
+                result = yield Select(AcceptGuard(self, "op"))
+                call = result.value
+                yield Start(call)
+                done = yield self.await_("op", call=call)
+                yield Finish(done, "a", "b")  # too many
+
+        obj = Bad(kernel)
+
+        def main():
+            yield obj.op()
+
+        with pytest.raises(ProtocolError):
+            kernel.run_process(main)
+
+
+class TestProtocolViolations:
+    def _accepted_call(self, kernel, mgr_body):
+        """Helper: build an object whose manager runs mgr_body(call)."""
+
+        class Obj(AlpsObject):
+            @entry(returns=1)
+            def op(self):
+                return 1
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                result = yield Select(AcceptGuard(self, "op"))
+                yield from mgr_body(self, result.value)
+
+        return Obj(kernel)
+
+    def test_double_start_rejected(self, kernel):
+        def body(obj, call):
+            yield Start(call)
+            yield Start(call)
+
+        obj = self._accepted_call(kernel, body)
+
+        def main():
+            yield obj.op()
+
+        with pytest.raises(ProtocolError):
+            kernel.run_process(main)
+
+    def test_finish_while_running_rejected(self, kernel):
+        class Obj(AlpsObject):
+            @entry(returns=1)
+            def op(self):
+                yield Delay(100)
+                return 1
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                result = yield Select(AcceptGuard(self, "op"))
+                call = result.value
+                yield Start(call)
+                yield Finish(call)  # body still running
+
+        obj = Obj(kernel)
+
+        def main():
+            yield obj.op()
+
+        with pytest.raises(ProtocolError):
+            kernel.run_process(main)
+
+    def test_start_without_accept_impossible(self, kernel):
+        # Calls only become visible through accept; starting a fabricated
+        # call record is rejected by state checking.
+        from repro.core.calls import Call
+
+        class Obj(AlpsObject):
+            @entry(returns=1)
+            def op(self):
+                return 1
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                result = yield Select(AcceptGuard(self, "op"))
+                fake = Call(self, result.value.spec, (), result.value.caller)
+                yield Start(fake)
+
+        obj = Obj(kernel)
+
+        def main():
+            yield obj.op()
+
+        with pytest.raises(ProtocolError):
+            kernel.run_process(main)
+
+
+class TestAsynchronousStart:
+    def test_manager_accepts_while_body_runs(self):
+        # §2.3: "The asynchronous nature of the start primitive allows the
+        # manager to accept other remote calls while the execution of P is
+        # in progress."
+        kernel = Kernel(costs=FREE)
+        accept_times = []
+
+        class Async(AlpsObject):
+            @entry(returns=1, array=4)
+            def op(self, n):
+                yield Delay(100)
+                return n
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                pending = 0
+                while True:
+                    result = yield Select(
+                        AcceptGuard(self, "op"),
+                        AwaitGuard(self, "op"),
+                    )
+                    if isinstance(result.guard, AcceptGuard):
+                        accept_times.append(kernel.clock.now)
+                        yield Start(result.value)
+                        pending += 1
+                    else:
+                        yield Finish(result.value)
+                        pending -= 1
+
+        obj = Async(kernel, pool=None)
+
+        def caller(n):
+            return (yield obj.op(n))
+
+        def main():
+            return (yield Par(*[lambda i=i: caller(i) for i in range(4)]))
+
+        assert kernel.run_process(main) == [0, 1, 2, 3]
+        # All four accepted before the first (100-tick) body finished.
+        assert all(t < 100 for t in accept_times)
+        assert kernel.clock.now < 4 * 100  # bodies overlapped
+
+
+class TestExecutePackage:
+    def test_execute_equals_start_await_finish(self, kernel):
+        class Exec(AlpsObject):
+            @entry(returns=1)
+            def op(self, x):
+                return x * 3
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "op"))
+                    done = yield from self.execute(result.value)
+                    assert done.state == CallState.DONE
+
+        obj = Exec(kernel)
+
+        def main():
+            return (yield obj.op(5))
+
+        assert kernel.run_process(main) == 15
+
+    def test_execute_serializes(self):
+        # While execute blocks the manager, a second call cannot start —
+        # monitor-style exclusion (§1).
+        kernel = Kernel(costs=FREE)
+        active = {"count": 0, "peak": 0}
+
+        class Excl(AlpsObject):
+            @entry
+            def op(self):
+                active["count"] += 1
+                active["peak"] = max(active["peak"], active["count"])
+                yield Delay(10)
+                active["count"] -= 1
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "op"))
+                    yield from self.execute(result.value)
+
+        obj = Excl(kernel)
+
+        def caller():
+            yield obj.op()
+
+        def main():
+            yield Par(*[lambda: caller() for _ in range(5)])
+
+        kernel.run_process(main)
+        assert active["peak"] == 1
+
+
+class TestPendingCounts:
+    def test_pending_counts_attached_and_waiting(self):
+        # §2.5.1: "#Read includes any read request that may have been
+        # attached ... and also any read request waiting to be attached."
+        kernel = Kernel(costs=FREE)
+        observed = []
+
+        class Counting(AlpsObject):
+            @entry(array=2)
+            def op(self):
+                pass
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                yield Delay(10)  # let 5 calls pile up: 2 attached + 3 waiting
+                observed.append(self.pending("op"))
+                while True:
+                    result = yield Select(AcceptGuard(self, "op"))
+                    yield from self.execute(result.value)
+
+        obj = Counting(kernel)
+
+        def caller():
+            yield obj.op()
+
+        def main():
+            yield Par(*[lambda: caller() for _ in range(5)])
+
+        kernel.run_process(main)
+        assert observed == [5]

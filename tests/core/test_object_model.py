@@ -1,0 +1,279 @@
+"""Tests for AlpsObject construction, definitions, and validation."""
+
+import pytest
+
+from repro.core import AlpsObject, WhenGuard, entry, icpt, local, manager_process
+from repro.core.object_model import BoundEntry
+from repro.core.primitives import AcceptGuard
+from repro.errors import CallError, InterceptError, ObjectModelError
+from repro.kernel import Kernel, Select
+
+
+class Plain(AlpsObject):
+    """Object with no manager: entries start implicitly (§2.3)."""
+
+    @entry(returns=1)
+    def double(self, x):
+        return x * 2
+
+    @entry(returns=1)
+    def status(self):
+        return "ok"
+
+
+class Managed(AlpsObject):
+    @entry(returns=1)
+    def op(self, x):
+        return x + 1
+
+    @manager_process(intercepts=["op"])
+    def mgr(self):
+        while True:
+            result = yield Select(AcceptGuard(self, "op"))
+            yield from self.execute(result.value)
+
+
+class TestDefinitionPart:
+    def test_definition_lists_exported_procs(self, kernel):
+        obj = Plain(kernel)
+        definition = obj.definition()
+        assert "double" in definition
+        assert "status" in definition
+        text = definition.describe()
+        assert text.startswith("object Plain defines")
+
+    def test_local_procs_hidden_from_definition(self, kernel):
+        class WithLocal(AlpsObject):
+            @entry(returns=1)
+            def visible(self):
+                return 1
+
+            @local(returns=1)
+            def hidden(self):
+                return 2
+
+        obj = WithLocal(kernel)
+        definition = obj.definition()
+        assert "visible" in definition
+        assert "hidden" not in definition
+
+    def test_local_proc_not_callable_from_outside(self, kernel):
+        class WithLocal(AlpsObject):
+            @local(returns=1)
+            def helper(self):
+                return 2
+
+        obj = WithLocal(kernel)
+
+        def main():
+            return (yield obj.helper())
+
+        with pytest.raises(CallError):
+            kernel.run_process(main)
+
+    def test_local_proc_callable_from_inside(self, kernel):
+        class WithLocal(AlpsObject):
+            @entry(returns=1)
+            def outer(self):
+                value = yield self.call("helper")
+                return value * 10
+
+            @local(returns=1)
+            def helper(self):
+                return 2
+
+        obj = WithLocal(kernel)
+
+        def main():
+            return (yield obj.outer())
+
+        assert kernel.run_process(main) == 20
+
+
+class TestUnmanagedObjects:
+    def test_entries_start_implicitly(self, kernel):
+        obj = Plain(kernel)
+
+        def main():
+            return (yield obj.double(21))
+
+        assert kernel.run_process(main) == 42
+
+    def test_concurrent_unmanaged_calls(self, kernel):
+        from repro.kernel import Par
+
+        obj = Plain(kernel)
+
+        def main():
+            return (yield Par(*[lambda i=i: caller(i) for i in range(5)]))
+
+        def caller(i):
+            return (yield obj.double(i))
+
+        assert kernel.run_process(main) == [0, 2, 4, 6, 8]
+
+
+class TestSetupHook:
+    def test_default_setup_stores_config(self, kernel):
+        obj = Plain(kernel, threshold=9)
+        assert obj.threshold == 9
+
+    def test_custom_setup_runs_before_manager(self):
+        kernel = Kernel()
+        events = []
+
+        class Ordered(AlpsObject):
+            def setup(self):
+                events.append("setup")
+
+            @entry
+            def noop(self):
+                pass
+
+            @manager_process(intercepts=["noop"])
+            def mgr(self):
+                events.append("manager")
+                while True:
+                    result = yield Select(AcceptGuard(self, "noop"))
+                    yield from self.execute(result.value)
+
+        Ordered(kernel)
+        kernel.run()
+        assert events == ["setup", "manager"]
+
+    def test_setup_attributes_usable_for_array_size(self, kernel):
+        class Sized(AlpsObject):
+            def setup(self, n):
+                self.n = n
+
+            @entry(array="n")
+            def op(self):
+                pass
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "op"))
+                    yield from self.execute(result.value)
+
+        obj = Sized(kernel, n=5)
+        assert obj._entry_runtime("op").array_size == 5
+
+
+class TestValidation:
+    def test_intercepting_unknown_proc_rejected(self):
+        with pytest.raises(InterceptError):
+            class Bad(AlpsObject):
+                @entry
+                def real(self):
+                    pass
+
+                @manager_process(intercepts=["imaginary"])
+                def mgr(self):
+                    yield
+
+    def test_intercept_params_beyond_signature_rejected(self):
+        with pytest.raises(InterceptError):
+            class Bad(AlpsObject):
+                @entry
+                def op(self, a):
+                    pass
+
+                @manager_process(intercepts={"op": icpt(params=2)})
+                def mgr(self):
+                    yield
+
+    def test_intercept_results_beyond_signature_rejected(self):
+        with pytest.raises(InterceptError):
+            class Bad(AlpsObject):
+                @entry(returns=1)
+                def op(self):
+                    return 1
+
+                @manager_process(intercepts={"op": icpt(results=2)})
+                def mgr(self):
+                    yield
+
+    def test_hidden_params_require_interception(self):
+        with pytest.raises(InterceptError):
+            class Bad(AlpsObject):
+                @entry(hidden_params=1)
+                def op(self, a, h):
+                    pass
+
+                @manager_process(intercepts=[])
+                def mgr(self):
+                    yield
+
+    def test_hidden_params_require_manager(self):
+        with pytest.raises(ObjectModelError):
+            class Bad(AlpsObject):
+                @entry(hidden_params=1)
+                def op(self, a, h):
+                    pass
+
+    def test_unknown_proc_call_rejected(self, kernel):
+        obj = Plain(kernel)
+
+        def main():
+            yield obj.call("missing")
+
+        with pytest.raises(ObjectModelError):
+            kernel.run_process(main)
+
+    def test_wrong_arity_rejected(self, kernel):
+        obj = Plain(kernel)
+
+        def main():
+            yield obj.call("double", 1, 2, 3)
+
+        with pytest.raises(CallError):
+            kernel.run_process(main)
+
+
+class TestBinding:
+    def test_bound_entry_on_instance(self, kernel):
+        obj = Plain(kernel)
+        bound = obj.double
+        assert isinstance(bound, BoundEntry)
+        assert bound.name == "double"
+
+    def test_class_attribute_is_descriptor(self):
+        assert not isinstance(Plain.double, BoundEntry)
+
+    def test_two_instances_independent(self, kernel):
+        a = Managed(kernel, name="a")
+        b = Managed(kernel, name="b")
+
+        def main():
+            ra = yield a.op(1)
+            rb = yield b.op(10)
+            return (ra, rb)
+
+        assert kernel.run_process(main) == (2, 11)
+
+    def test_intercepts_do_not_leak_between_classes(self):
+        class Base(AlpsObject):
+            @entry(returns=1)
+            def op(self, x):
+                return x
+
+        class Child(Base):
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "op"))
+                    yield from self.execute(result.value)
+
+        assert Base.__alps_entries__["op"].intercept is None
+        assert Child.__alps_entries__["op"].intercept is not None
+
+    def test_manager_runs_at_high_priority_by_default(self, kernel):
+        from repro.kernel import PRIORITY_MANAGER
+
+        obj = Managed(kernel)
+        assert obj.manager_process.priority == PRIORITY_MANAGER
+
+    def test_manager_priority_override(self, kernel):
+        obj = Managed(kernel, manager_priority=500)
+        assert obj.manager_process.priority == 500

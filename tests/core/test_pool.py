@@ -1,0 +1,156 @@
+"""Tests for server-process pool strategies (§3)."""
+
+import pytest
+
+from repro.core import (
+    AcceptGuard,
+    AlpsObject,
+    AwaitGuard,
+    Finish,
+    PoolConfig,
+    Start,
+    entry,
+    manager_process,
+)
+from repro.errors import ObjectModelError
+from repro.kernel import Delay, Kernel, Par, Select
+from repro.kernel.costs import FREE
+
+
+class Worked(AlpsObject):
+    """Concurrent entry with a 100-tick body, 4 array slots."""
+
+    @entry(returns=1, array=4)
+    def op(self, n):
+        yield Delay(100)
+        return n
+
+    @manager_process(intercepts=["op"])
+    def mgr(self):
+        while True:
+            result = yield Select(
+                AcceptGuard(self, "op"),
+                AwaitGuard(self, "op"),
+            )
+            if isinstance(result.guard, AcceptGuard):
+                yield Start(result.value)
+            else:
+                yield Finish(result.value)
+
+
+def run_callers(kernel, obj, count):
+    def caller(n):
+        return (yield obj.op(n))
+
+    def main():
+        return (yield Par(*[lambda i=i: caller(i) for i in range(count)]))
+
+    return kernel.run_process(main)
+
+
+class TestPoolConfig:
+    def test_modes_validated(self):
+        with pytest.raises(ObjectModelError):
+            PoolConfig("bogus")
+
+    def test_shared_requires_size(self):
+        with pytest.raises(ObjectModelError):
+            PoolConfig("shared")
+
+    def test_shared_size_validated(self):
+        with pytest.raises(ObjectModelError):
+            PoolConfig("shared", size=0)
+
+
+class TestDynamicPool:
+    def test_unbounded_concurrency(self):
+        kernel = Kernel(costs=FREE)
+        obj = Worked(kernel, pool=PoolConfig("dynamic"))
+        assert run_callers(kernel, obj, 4) == [0, 1, 2, 3]
+        assert kernel.clock.now == 100  # all four overlapped
+        assert obj.pool.max_busy == 4
+        assert obj.pool.preallocation_cost == 0
+
+
+class TestPerSlotPool:
+    def test_capacity_equals_slots(self):
+        kernel = Kernel(costs=FREE)
+        obj = Worked(kernel, pool=PoolConfig("per-slot"))
+        assert obj.pool.capacity == 4
+
+    def test_concurrency_bounded_by_slots(self):
+        kernel = Kernel(costs=FREE)
+        obj = Worked(kernel, pool=PoolConfig("per-slot"))
+        assert sorted(run_callers(kernel, obj, 8)) == list(range(8))
+        assert obj.pool.max_busy <= 4
+        assert kernel.clock.now == 200  # two waves of four
+
+
+class TestSharedPool:
+    def test_m_less_than_n_bounds_concurrency(self):
+        # §3: preallocate M << N and assign a process "at the time it is
+        # started rather than when the call arrives".
+        kernel = Kernel(costs=FREE)
+        obj = Worked(kernel, pool=PoolConfig("shared", size=2))
+        assert sorted(run_callers(kernel, obj, 8)) == list(range(8))
+        assert obj.pool.max_busy <= 2
+        assert kernel.clock.now == 400  # four waves of two
+
+    def test_queued_starts_counted(self):
+        kernel = Kernel(costs=FREE)
+        obj = Worked(kernel, pool=PoolConfig("shared", size=1))
+        run_callers(kernel, obj, 4)
+        assert obj.pool.queued_starts == 3
+
+    def test_worker_busy_until_finish(self):
+        # The worker is released at finish, not at body completion (§2.3:
+        # "both the finish P(...) and P terminate together").
+        kernel = Kernel(costs=FREE)
+        starts = []
+
+        class LateFinish(AlpsObject):
+            @entry(array=2)
+            def op(self, tag):
+                starts.append((tag, kernel.clock.now))
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "op"))
+                    call = result.value
+                    yield Start(call)
+                    done = yield self.await_("op", call=call)
+                    yield Delay(30)  # worker stays busy during this delay
+                    yield Finish(done)
+
+        obj = LateFinish(kernel, pool=PoolConfig("shared", size=1))
+
+        def caller(tag):
+            yield obj.op(tag)
+
+        def main():
+            yield Par(lambda: caller("a"), lambda: caller("b"))
+
+        kernel.run_process(main)
+        assert starts[1][1] >= starts[0][1] + 30
+
+
+class TestPreallocationCost:
+    def test_preallocated_pools_charge_up_front(self):
+        from repro.kernel import CostModel
+
+        costs = CostModel(lwp_create=10)
+        kernel = Kernel(costs=costs)
+        obj = Worked(kernel, pool=PoolConfig("per-slot"))
+        assert obj.pool.preallocation_cost == 40  # 4 slots x 10
+
+    def test_process_count_accounting(self):
+        kernel = Kernel(costs=FREE)
+        before = kernel.stats.spawns
+        obj = Worked(kernel, pool=PoolConfig("shared", size=3))
+        # 3 preallocated workers + the manager process.
+        assert kernel.stats.spawns - before == 4
+        run_callers(kernel, obj, 6)
+        # Dispatching reuses workers: no further (net) spawns counted for
+        # bodies beyond the preallocated three.
+        assert kernel.stats.spawns - before == 4 + 1 + 6  # main + callers

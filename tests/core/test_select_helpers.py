@@ -1,0 +1,78 @@
+"""Tests for par_range and the loop helper (§2.1.1, §2.4)."""
+
+import pytest
+
+from repro.channels import Channel, ReceiveGuard, Send
+from repro.core import par_range
+from repro.core.select import loop
+from repro.kernel import Delay, Kernel
+from repro.kernel.costs import FREE
+
+
+class TestParRange:
+    def test_inclusive_bounds(self, kernel):
+        def worker(i):
+            yield Delay(1)
+            return i * i
+
+        def main():
+            return (yield par_range(2, 5, worker))
+
+        assert kernel.run_process(main) == [4, 9, 16, 25]
+
+    def test_single_element_range(self, kernel):
+        def main():
+            return (yield par_range(3, 3, lambda i: i))
+
+        assert kernel.run_process(main) == [3]
+
+    def test_empty_range(self, kernel):
+        def main():
+            return (yield par_range(5, 4, lambda i: i))
+
+        assert kernel.run_process(main) == []
+
+    def test_parallel_execution(self):
+        kernel = Kernel(costs=FREE)
+
+        def worker(i):
+            yield Delay(100)
+            return i
+
+        def main():
+            return (yield par_range(1, 10, worker))
+
+        assert kernel.run_process(main) == list(range(1, 11))
+        assert kernel.clock.now == 100  # all ten overlapped
+
+    def test_priority_forwarded(self, kernel):
+        def worker(i):
+            from repro.kernel import Self
+
+            me = yield Self()
+            return me.priority
+
+        def main():
+            return (yield par_range(0, 1, worker, priority=7))
+
+        assert kernel.run_process(main) == [7, 7]
+
+
+class TestLoopHelper:
+    def test_loop_until_stop(self, kernel):
+        ch = Channel()
+        seen = []
+
+        class Collect(ReceiveGuard):
+            def commit(self, k, proc, ready):
+                value = super().commit(k, proc, ready)
+                seen.append(value)
+                return value
+
+        def main():
+            for i in range(3):
+                yield Send(ch, i)
+            yield from loop(Collect(ch), stop=lambda: len(seen) == 3)
+            return seen
+
+        assert kernel.run_process(main) == [0, 1, 2]

@@ -1,0 +1,158 @@
+"""§2.3's nested-call scenario, both sides of the comparison.
+
+"two objects X and Y can be programmed without deadlock such that an
+entry procedure P in X calls a procedure Q in Y which in turn calls
+another entry R in X ... Note that DP, Ada and SR suffer from the nested
+calls problem."
+"""
+
+import pytest
+
+from repro.baselines import AdaTask
+from repro.core import (
+    AcceptGuard,
+    AlpsObject,
+    AwaitGuard,
+    Finish,
+    Start,
+    entry,
+    manager_process,
+)
+from repro.errors import DeadlockError
+from repro.kernel import Kernel, Par, Select
+from repro.kernel.costs import FREE
+
+
+def make_async_object(kernel, name, entries):
+    """Build an ALPS object whose manager starts everything eagerly."""
+
+    namespace = {}
+    for entry_name, body in entries.items():
+        body.__name__ = entry_name
+        namespace[entry_name] = entry(returns=1, array=4)(body)
+
+    def mgr(self):
+        while True:
+            guards = []
+            for entry_name in entries:
+                guards.append(AcceptGuard(self, entry_name))
+                guards.append(AwaitGuard(self, entry_name))
+            result = yield Select(*guards)
+            if isinstance(result.guard, AcceptGuard):
+                yield Start(result.value)
+            else:
+                yield Finish(result.value)
+
+    namespace["mgr"] = manager_process(intercepts=list(entries))(mgr)
+    cls = type(name, (AlpsObject,), namespace)
+    return cls(kernel, name=name)
+
+
+class TestAlpsNestedCalls:
+    def test_mutual_recursion_between_objects(self):
+        kernel = Kernel(costs=FREE)
+        holder = {}
+
+        def p_body(self):
+            value = yield holder["y"].q()
+            return f"p<{value}>"
+
+        def r_body(self):
+            return "r"
+            yield
+
+        def q_body(self):
+            value = yield holder["x"].r()
+            return f"q<{value}>"
+
+        holder["x"] = make_async_object(kernel, "X", {"p": p_body, "r": r_body})
+        holder["y"] = make_async_object(kernel, "Y", {"q": q_body})
+
+        def client():
+            return (yield holder["x"].p())
+
+        assert kernel.run_process(client) == "p<q<r>>"
+
+    def test_deep_recursion_chain(self):
+        # X.depth(n) -> Y.depth(n-1) -> X.depth(n-2) -> ... -> 0
+        kernel = Kernel(costs=FREE)
+        holder = {}
+
+        def x_depth(self, n):
+            if n <= 0:
+                return 0
+            value = yield holder["y"].depth(n - 1)
+            return value + 1
+
+        def y_depth(self, n):
+            if n <= 0:
+                return 0
+            value = yield holder["x"].depth(n - 1)
+            return value + 1
+
+        holder["x"] = make_async_object(kernel, "X", {"depth": x_depth})
+        holder["y"] = make_async_object(kernel, "Y", {"depth": y_depth})
+
+        def client():
+            return (yield holder["x"].depth(6))
+
+        assert kernel.run_process(client) == 6
+
+    def test_many_concurrent_nested_chains(self):
+        kernel = Kernel(costs=FREE)
+        holder = {}
+
+        def p_body(self):
+            value = yield holder["y"].q()
+            return value
+
+        def r_body(self):
+            return 1
+            yield
+
+        def q_body(self):
+            value = yield holder["x"].r()
+            return value
+
+        holder["x"] = make_async_object(kernel, "X", {"p": p_body, "r": r_body})
+        holder["y"] = make_async_object(kernel, "Y", {"q": q_body})
+
+        def client():
+            return (yield holder["x"].p())
+
+        def main():
+            return (yield Par(*[lambda: client() for _ in range(4)]))
+
+        assert kernel.run_process(main) == [1, 1, 1, 1]
+
+
+class TestRendezvousNestedCalls:
+    def test_same_shape_deadlocks(self):
+        kernel = Kernel()
+
+        def srv_x(x):
+            while True:
+                request = yield x.accept("p", "r")
+                if request.entry == "p":
+                    value = yield from tasks["y"].call("q")
+                    yield x.reply(request, value)
+                else:
+                    yield x.reply(request, "r")
+
+        def srv_y(y):
+            while True:
+                request = yield y.accept("q")
+                value = yield from tasks["x"].call("r")
+                yield y.reply(request, value)
+
+        tasks = {
+            "x": AdaTask(kernel, ["p", "r"], srv_x, name="X"),
+            "y": AdaTask(kernel, ["q"], srv_y, name="Y"),
+        }
+
+        def client():
+            return (yield from tasks["x"].call("p"))
+
+        kernel.spawn(client)
+        with pytest.raises(DeadlockError):
+            kernel.run()

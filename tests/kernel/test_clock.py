@@ -1,0 +1,49 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=42).now == 42
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(KernelError):
+            VirtualClock(start=-1)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(5) == 5
+        assert clock.advance(3) == 8
+        assert clock.now == 8
+
+    def test_advance_zero_is_noop(self):
+        clock = VirtualClock(start=7)
+        clock.advance(0)
+        assert clock.now == 7
+
+    def test_advance_negative_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(KernelError):
+            clock.advance(-1)
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(10)
+        assert clock.now == 10
+
+    def test_advance_to_same_time_allowed(self):
+        clock = VirtualClock(start=10)
+        clock.advance_to(10)
+        assert clock.now == 10
+
+    def test_advance_to_past_rejected(self):
+        clock = VirtualClock(start=10)
+        with pytest.raises(KernelError):
+            clock.advance_to(9)

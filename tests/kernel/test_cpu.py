@@ -1,0 +1,65 @@
+"""Unit tests for the CPU pool."""
+
+import pytest
+
+from repro.kernel.cpu import CpuPool
+
+
+class TestInfinitePool:
+    def test_work_never_queues(self):
+        pool = CpuPool(None)
+        assert pool.acquire(10, 100) == (10, 110)
+        assert pool.acquire(10, 100) == (10, 110)
+
+    def test_infinite_flag(self):
+        assert CpuPool(None).infinite
+
+    def test_utilization_is_zero(self):
+        pool = CpuPool(None)
+        pool.acquire(0, 100)
+        assert pool.utilization(100) == 0.0
+
+
+class TestFinitePool:
+    def test_single_cpu_serializes(self):
+        pool = CpuPool(1)
+        assert pool.acquire(0, 10) == (0, 10)
+        assert pool.acquire(0, 10) == (10, 20)
+        assert pool.acquire(0, 10) == (20, 30)
+
+    def test_two_cpus_overlap_two(self):
+        pool = CpuPool(2)
+        assert pool.acquire(0, 10) == (0, 10)
+        assert pool.acquire(0, 10) == (0, 10)
+        assert pool.acquire(0, 10) == (10, 20)
+
+    def test_idle_gap_respected(self):
+        pool = CpuPool(1)
+        pool.acquire(0, 5)
+        # Work requested after the CPU is already free starts immediately.
+        assert pool.acquire(50, 5) == (50, 55)
+
+    def test_zero_duration(self):
+        pool = CpuPool(1)
+        assert pool.acquire(3, 0) == (3, 3)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            CpuPool(1).acquire(0, -1)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            CpuPool(0)
+
+    def test_utilization(self):
+        pool = CpuPool(2)
+        pool.acquire(0, 10)
+        pool.acquire(0, 10)
+        assert pool.utilization(10) == pytest.approx(1.0)
+        assert pool.utilization(20) == pytest.approx(0.5)
+
+    def test_busy_ticks_accumulate(self):
+        pool = CpuPool(4)
+        pool.acquire(0, 3)
+        pool.acquire(0, 4)
+        assert pool.busy_ticks == 7

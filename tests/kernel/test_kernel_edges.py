@@ -1,0 +1,129 @@
+"""Edge-case kernel behaviour: kill-during-select, bounded runs,
+arbitration validation, error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.channels import Channel, ReceiveGuard, Send
+from repro.errors import KernelError
+from repro.kernel import Delay, Join, Kernel, Kill, Select, Spawn
+from repro.kernel.costs import FREE
+
+
+class TestKillDuringSelect:
+    def test_killed_selector_deregisters(self):
+        kernel = Kernel(costs=FREE)
+        ch = Channel()
+
+        def selector():
+            yield Select(ReceiveGuard(ch))
+
+        def killer(victim):
+            yield Delay(5)
+            yield Kill(victim)
+            # A send afterwards must not wake the corpse.
+            yield Send(ch, "for nobody")
+
+        victim = kernel.spawn(selector)
+        kernel.spawn(killer, victim)
+        kernel.run()
+        assert not victim.alive
+        assert len(ch) == 1  # message still queued, never consumed
+
+    def test_kill_then_join_raises(self):
+        kernel = Kernel(costs=FREE)
+
+        def sleeper():
+            yield Delay(1000)
+
+        def main():
+            victim = yield Spawn(sleeper)
+            yield Kill(victim)
+            yield Join(victim)
+
+        with pytest.raises(errors.ProcessError):
+            kernel.run_process(main)
+
+
+class TestBoundedRuns:
+    def test_max_events_stops_early(self):
+        kernel = Kernel(costs=FREE)
+        ticks = []
+
+        def ticker():
+            for _ in range(100):
+                yield Delay(1)
+                ticks.append(kernel.clock.now)
+
+        kernel.spawn(ticker)
+        kernel.run(max_events=10)
+        assert 0 < len(ticks) < 100
+        kernel.run()
+        assert len(ticks) == 100
+
+    def test_bounded_run_does_not_conclude_deadlock(self):
+        kernel = Kernel(costs=FREE)
+        ch = Channel()
+
+        def waiter():
+            return (yield Select(ReceiveGuard(ch))).value
+
+        proc = kernel.spawn(waiter)
+        kernel.run(until=100)  # no deadlock error despite blocked waiter
+
+        def sender():
+            yield Send(ch, "late arrival")
+
+        kernel.spawn(sender)
+        kernel.run()
+        assert proc.result == "late arrival"
+
+
+class TestValidation:
+    def test_bad_arbitration_rejected(self):
+        with pytest.raises(KernelError):
+            Kernel(arbitration="coin-flip")
+
+    def test_post_in_past_rejected(self):
+        kernel = Kernel()
+
+        def main():
+            yield Delay(10)
+            kernel.post(5, lambda: None)
+
+        with pytest.raises(KernelError):
+            kernel.run_process(main)
+
+    def test_negative_cpu_count_rejected(self):
+        with pytest.raises(ValueError):
+            Kernel(num_cpus=0)
+
+
+class TestErrorHierarchy:
+    def test_everything_is_alps_error(self):
+        leaf_errors = [
+            errors.KernelError,
+            errors.DeadlockError,
+            errors.ProcessError,
+            errors.ChannelError,
+            errors.ChannelTypeError,
+            errors.SelectError,
+            errors.GuardExhaustedError,
+            errors.ObjectModelError,
+            errors.InterceptError,
+            errors.ProtocolError,
+            errors.CallError,
+            errors.PathExpressionError,
+            errors.NetworkError,
+        ]
+        for cls in leaf_errors:
+            assert issubclass(cls, errors.AlpsError)
+
+    def test_deadlock_is_kernel_error(self):
+        assert issubclass(errors.DeadlockError, errors.KernelError)
+
+    def test_guard_exhausted_is_select_error(self):
+        assert issubclass(errors.GuardExhaustedError, errors.SelectError)
+
+    def test_channel_type_is_channel_error(self):
+        assert issubclass(errors.ChannelTypeError, errors.ChannelError)

@@ -1,0 +1,133 @@
+"""Unit tests for the Process abstraction."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.kernel.process import (
+    PRIORITY_MANAGER,
+    PRIORITY_NORMAL,
+    Process,
+    ProcessState,
+    as_generator,
+    format_blocked,
+)
+
+
+def _gen():
+    value = yield "syscall-1"
+    return value * 2
+
+
+class TestProcess:
+    def make(self, body=None, **kwargs):
+        return Process(pid=1, name="p", body=body or _gen(), **kwargs)
+
+    def test_requires_generator_body(self):
+        with pytest.raises(ProcessError):
+            Process(pid=1, name="p", body=lambda: None)
+
+    def test_initial_state(self):
+        proc = self.make()
+        assert proc.state == ProcessState.NEW
+        assert proc.alive
+        assert proc.daemon is False
+
+    def test_step_yields_syscall(self):
+        proc = self.make()
+        finished, payload = proc.step()
+        assert not finished
+        assert payload == "syscall-1"
+
+    def test_step_to_completion_captures_result(self):
+        proc = self.make()
+        proc.step()
+        proc.prepare_resume(21)
+        finished, result = proc.step()
+        assert finished
+        assert result == 42
+        assert proc.state == ProcessState.DONE
+        assert proc.result == 42
+        assert not proc.alive
+
+    def test_prepare_throw_raises_inside_body(self):
+        def body():
+            try:
+                yield "x"
+            except ValueError:
+                return "caught"
+
+        proc = self.make(body=body())
+        proc.step()
+        proc.prepare_throw(ValueError("boom"))
+        finished, result = proc.step()
+        assert finished and result == "caught"
+
+    def test_uncaught_exception_marks_failed(self):
+        def body():
+            yield "x"
+            raise RuntimeError("bad")
+
+        proc = self.make(body=body())
+        proc.step()
+        with pytest.raises(RuntimeError):
+            proc.step()
+        assert proc.state == ProcessState.FAILED
+        assert isinstance(proc.exception, RuntimeError)
+
+    def test_kill(self):
+        proc = self.make()
+        proc.step()
+        proc.kill()
+        assert proc.state == ProcessState.KILLED
+        assert not proc.alive
+
+    def test_kill_finished_is_noop(self):
+        proc = self.make()
+        proc.step()
+        proc.prepare_resume(1)
+        proc.step()
+        proc.kill()
+        assert proc.state == ProcessState.DONE
+
+    def test_resumption_counter(self):
+        proc = self.make()
+        proc.step()
+        proc.prepare_resume(1)
+        proc.step()
+        assert proc.resumptions == 2
+
+    def test_manager_priority_is_higher_than_normal(self):
+        # Numerically smaller = dispatched first.
+        assert PRIORITY_MANAGER < PRIORITY_NORMAL
+
+
+class TestAsGenerator:
+    def test_passes_generators_through(self):
+        gen = _gen()
+        assert as_generator(lambda: gen) is gen
+
+    def test_wraps_plain_functions(self):
+        body = as_generator(lambda: 7)
+        with pytest.raises(StopIteration) as stop:
+            next(body)
+        assert stop.value.value == 7
+
+    def test_forwards_arguments(self):
+        def add(a, b):
+            return a + b
+
+        body = as_generator(add, 2, b=3)
+        with pytest.raises(StopIteration) as stop:
+            next(body)
+        assert stop.value.value == 5
+
+
+class TestFormatBlocked:
+    def test_lists_waiters(self):
+        proc = Process(pid=3, name="stuck", body=_gen())
+        proc.blocked_on = "receive(ch)"
+        text = format_blocked([proc])
+        assert "stuck" in text and "receive(ch)" in text
+
+    def test_empty(self):
+        assert "(none)" in format_blocked([])

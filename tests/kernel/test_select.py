@@ -1,0 +1,382 @@
+"""Tests of the generic select machinery: guards, priorities, acceptance
+conditions, else-clauses, exhaustion (§2.4 semantics at kernel level)."""
+
+import pytest
+
+from repro.channels import Channel, ReceiveGuard, Send
+from repro.core import WhenGuard
+from repro.errors import GuardExhaustedError
+from repro.kernel import Delay, Kernel, Select, SelectResult, Timeout
+from repro.kernel.costs import FREE
+
+
+class TestImmediateSelect:
+    def test_ready_guard_fires(self, kernel):
+        ch = Channel()
+
+        def main():
+            yield Send(ch, 5)
+            result = yield Select(ReceiveGuard(ch))
+            return (result.index, result.value)
+
+        assert kernel.run_process(main) == (0, 5)
+
+    def test_result_unpacks(self, kernel):
+        ch = Channel()
+
+        def main():
+            yield Send(ch, 5)
+            index, value = yield Select(ReceiveGuard(ch))
+            return (index, value)
+
+        assert kernel.run_process(main) == (0, 5)
+
+    def test_textual_order_breaks_ties(self, kernel):
+        a, b = Channel(name="a"), Channel(name="b")
+
+        def main():
+            yield Send(a, "from-a")
+            yield Send(b, "from-b")
+            result = yield Select(ReceiveGuard(a), ReceiveGuard(b))
+            return result.value
+
+        assert kernel.run_process(main) == "from-a"
+
+    def test_random_arbitration_is_seed_deterministic(self):
+        def run(seed):
+            kernel = Kernel(seed=seed, arbitration="random")
+            a, b = Channel(), Channel()
+
+            def main():
+                yield Send(a, "a")
+                yield Send(b, "b")
+                picks = []
+                for _ in range(1):
+                    result = yield Select(ReceiveGuard(a), ReceiveGuard(b))
+                    picks.append(result.value)
+                return picks
+
+            return kernel.run_process(main)
+
+        assert run(3) == run(3)
+
+    def test_else_when_nothing_ready(self, kernel):
+        ch = Channel()
+
+        def main():
+            result = yield Select(
+                ReceiveGuard(ch), else_=True, else_value="polled"
+            )
+            return (result.index, result.value)
+
+        assert kernel.run_process(main) == (-1, "polled")
+
+    def test_guards_as_list(self, kernel):
+        ch = Channel()
+
+        def main():
+            yield Send(ch, 1)
+            result = yield Select([ReceiveGuard(ch)])
+            return result.value
+
+        assert kernel.run_process(main) == 1
+
+
+class TestBlockingSelect:
+    def test_blocks_until_guard_ready(self):
+        kernel = Kernel(costs=FREE)
+        ch = Channel()
+
+        def sender():
+            yield Delay(30)
+            yield Send(ch, "late")
+
+        def receiver():
+            result = yield Select(ReceiveGuard(ch))
+            return (result.value, kernel.clock.now)
+
+        kernel.spawn(sender)
+        proc = kernel.spawn(receiver)
+        kernel.run()
+        assert proc.result == ("late", 30)
+
+    def test_first_event_wins(self):
+        kernel = Kernel(costs=FREE)
+        a, b = Channel(), Channel()
+
+        def send_a():
+            yield Delay(10)
+            yield Send(a, "a")
+
+        def send_b():
+            yield Delay(5)
+            yield Send(b, "b")
+
+        def receiver():
+            result = yield Select(ReceiveGuard(a), ReceiveGuard(b))
+            return result.value
+
+        kernel.spawn(send_a)
+        kernel.spawn(send_b)
+        proc = kernel.spawn(receiver)
+        kernel.run()
+        assert proc.result == "b"
+
+    def test_two_receivers_one_message(self):
+        kernel = Kernel(costs=FREE)
+        ch = Channel()
+        done = []
+
+        def receiver(tag):
+            result = yield Select(ReceiveGuard(ch))
+            done.append((tag, result.value))
+
+        def sender():
+            yield Delay(5)
+            yield Send(ch, "only")
+
+        kernel.spawn(receiver, 1, daemon=True)
+        kernel.spawn(receiver, 2, daemon=True)
+        kernel.spawn(sender)
+        kernel.run()
+        assert done == [(1, "only")]  # FIFO wake: first waiter gets it
+
+
+class TestAcceptanceConditions:
+    def test_condition_scans_queue(self, kernel):
+        ch = Channel()
+
+        def main():
+            for value in (1, 2, 9, 3):
+                yield Send(ch, value)
+            result = yield Select(ReceiveGuard(ch, when=lambda v: v > 5))
+            return (result.value, ch.peek_all())
+
+        value, remaining = kernel.run_process(main)
+        assert value == 9
+        assert remaining == [(1,), (2,), (3,)]
+
+    def test_condition_false_blocks(self):
+        kernel = Kernel(costs=FREE)
+        ch = Channel()
+
+        def sender():
+            yield Send(ch, 1)
+            yield Delay(10)
+            yield Send(ch, 100)
+
+        def receiver():
+            result = yield Select(ReceiveGuard(ch, when=lambda v: v >= 100))
+            return result.value
+
+        kernel.spawn(sender)
+        proc = kernel.spawn(receiver)
+        kernel.run()
+        assert proc.result == 100
+
+    def test_multi_field_condition(self, kernel):
+        ch = Channel(types=(str, int))
+
+        def main():
+            yield Send(ch, "small", 1)
+            yield Send(ch, "big", 10)
+            result = yield Select(
+                ReceiveGuard(ch, when=lambda tag, n: n > 5)
+            )
+            return result.value
+
+        assert kernel.run_process(main) == ("big", 10)
+
+
+class TestRuntimePriorities:
+    def test_smallest_pri_wins(self, kernel):
+        a, b = Channel(), Channel()
+
+        def main():
+            yield Send(a, "low-priority")
+            yield Send(b, "high-priority")
+            result = yield Select(
+                ReceiveGuard(a, pri=10),
+                ReceiveGuard(b, pri=1),
+            )
+            return result.value
+
+        assert kernel.run_process(main) == "high-priority"
+
+    def test_pri_beats_textual_order(self, kernel):
+        a, b = Channel(), Channel()
+
+        def main():
+            yield Send(a, "first-listed")
+            yield Send(b, "prioritized")
+            result = yield Select(
+                ReceiveGuard(a, pri=5),
+                ReceiveGuard(b, pri=0),
+            )
+            return result.value
+
+        assert kernel.run_process(main) == "prioritized"
+
+    def test_pri_can_use_received_values(self, kernel):
+        # §2.4: priorities "can possibly use values received by an accept,
+        # await or receive appearing in the guard".
+        a, b = Channel(), Channel()
+
+        def main():
+            yield Send(a, 40)
+            yield Send(b, 7)
+            result = yield Select(
+                ReceiveGuard(a, pri=lambda v: v),
+                ReceiveGuard(b, pri=lambda v: v),
+            )
+            return result.value
+
+        assert kernel.run_process(main) == 7
+
+    def test_unprioritized_sorts_after_prioritized(self, kernel):
+        a, b = Channel(), Channel()
+
+        def main():
+            yield Send(a, "unprioritized")
+            yield Send(b, "prioritized")
+            result = yield Select(
+                ReceiveGuard(a),
+                ReceiveGuard(b, pri=999),
+            )
+            return result.value
+
+        assert kernel.run_process(main) == "prioritized"
+
+
+class TestWhenGuards:
+    def test_true_boolean_guard_fires(self, kernel):
+        def main():
+            result = yield Select(WhenGuard(True, value="yes"))
+            return result.value
+
+        assert kernel.run_process(main) == "yes"
+
+    def test_callable_condition(self, kernel):
+        flag = {"on": True}
+
+        def main():
+            result = yield Select(WhenGuard(lambda: flag["on"], value="ok"))
+            return result.value
+
+        assert kernel.run_process(main) == "ok"
+
+    def test_all_false_booleans_exhaust(self, kernel):
+        def main():
+            yield Select(WhenGuard(False), WhenGuard(False))
+
+        with pytest.raises(GuardExhaustedError):
+            kernel.run_process(main)
+
+    def test_false_boolean_with_live_channel_blocks(self):
+        kernel = Kernel(costs=FREE)
+        ch = Channel()
+
+        def sender():
+            yield Delay(5)
+            yield Send(ch, "msg")
+
+        def main():
+            result = yield Select(WhenGuard(False), ReceiveGuard(ch))
+            return result.index
+
+        kernel.spawn(sender)
+        proc = kernel.spawn(main)
+        kernel.run()
+        assert proc.result == 1
+
+    def test_empty_select_without_else_exhausts(self, kernel):
+        def main():
+            yield Select()
+
+        with pytest.raises(GuardExhaustedError):
+            kernel.run_process(main)
+
+    def test_empty_select_with_else(self, kernel):
+        def main():
+            result = yield Select(else_=True, else_value="fallthrough")
+            return result.value
+
+        assert kernel.run_process(main) == "fallthrough"
+
+
+class TestTimeoutGuard:
+    def test_timeout_fires_after_ticks(self):
+        kernel = Kernel(costs=FREE)
+        ch = Channel()
+
+        def main():
+            result = yield Select(ReceiveGuard(ch), Timeout(25, value="timeout"))
+            return (result.value, kernel.clock.now)
+
+        kernel.spawn(main, daemon=False)
+        proc = kernel.processes()[0]
+        kernel.run()
+        assert proc.result == ("timeout", 25)
+
+    def test_message_preempts_timeout(self):
+        kernel = Kernel(costs=FREE)
+        ch = Channel()
+
+        def sender():
+            yield Delay(5)
+            yield Send(ch, "quick")
+
+        def main():
+            result = yield Select(ReceiveGuard(ch), Timeout(1000))
+            return result.value
+
+        kernel.spawn(sender)
+        proc = kernel.spawn(main)
+        kernel.run()
+        assert proc.result == "quick"
+        # The cancelled timer must not drag the clock to 1000.
+        assert kernel.clock.now < 100
+
+    def test_zero_timeout_fires_immediately(self, kernel):
+        def main():
+            result = yield Select(Timeout(0, value="now"))
+            return result.value
+
+        assert kernel.run_process(main) == "now"
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1)
+
+
+class TestGuardPollAccounting:
+    def test_polls_counted(self):
+        kernel = Kernel()
+        ch = Channel()
+
+        def main():
+            yield Send(ch, 1)
+            yield Select(ReceiveGuard(ch), ReceiveGuard(ch))
+
+        kernel.run_process(main)
+        assert kernel.stats.guard_polls >= 2
+        assert kernel.stats.selects >= 1
+        assert kernel.stats.commits >= 1
+
+    def test_guard_poll_cost_charged(self):
+        from repro.kernel import CostModel
+
+        costs = CostModel(
+            context_switch=0, process_create=0, lwp_create=0, send=0,
+            receive=0, accept=0, start=0, await_=0, finish=0,
+            guard_poll=5, dispatch=0,
+        )
+        kernel = Kernel(costs=costs)
+        ch = Channel()
+
+        def main():
+            yield Send(ch, 1)
+            yield Select(ReceiveGuard(ch), ReceiveGuard(ch))
+
+        kernel.run_process(main)
+        assert kernel.clock.now >= 10  # two polls x 5 ticks

@@ -1,0 +1,91 @@
+"""Unit tests for tracing and stats plumbing."""
+
+from repro.kernel import Delay, Kernel, Spawn
+from repro.kernel.stats import KernelStats
+from repro.kernel.tracing import Trace, TraceEvent
+
+
+class TestTrace:
+    def test_disabled_records_nothing(self):
+        trace = Trace(enabled=False)
+        trace.record(0, "spawn", "p")
+        assert len(trace) == 0
+
+    def test_enabled_records(self):
+        trace = Trace(enabled=True)
+        trace.record(5, "spawn", "p", pid=1)
+        assert len(trace) == 1
+        event = trace.events()[0]
+        assert event.time == 5
+        assert event.kind == "spawn"
+        assert event.detail["pid"] == 1
+
+    def test_filtering(self):
+        trace = Trace(enabled=True)
+        trace.record(0, "spawn", "a")
+        trace.record(1, "exit", "a")
+        trace.record(2, "spawn", "b")
+        assert trace.count("spawn") == 2
+        assert trace.count("spawn", process="b") == 1
+        assert [e.process for e in trace.events(kind="exit")] == ["a"]
+
+    def test_capacity_bound(self):
+        trace = Trace(enabled=True, capacity=3)
+        for i in range(10):
+            trace.record(i, "tick", "p")
+        assert len(trace) == 3
+        assert trace.events()[0].time == 7
+
+    def test_listener(self):
+        trace = Trace(enabled=True)
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record(0, "spawn", "p")
+        assert len(seen) == 1
+
+    def test_format(self):
+        event = TraceEvent(time=3, kind="send", process="p", detail={"ch": "c"})
+        text = event.format()
+        assert "send" in text and "'c'" in text
+
+    def test_kernel_trace_integration(self):
+        kernel = Kernel(trace=True)
+
+        def child():
+            yield Delay(1)
+
+        def main():
+            yield Spawn(child)
+            yield Delay(2)
+
+        kernel.run_process(main)
+        assert kernel.trace.count("spawn") == 2
+        assert kernel.trace.count("exit") == 2
+
+    def test_clear(self):
+        trace = Trace(enabled=True)
+        trace.record(0, "x", "p")
+        trace.clear()
+        assert len(trace) == 0
+
+
+class TestKernelStats:
+    def test_bump_custom(self):
+        stats = KernelStats()
+        stats.bump("widgets")
+        stats.bump("widgets", 4)
+        assert stats.custom["widgets"] == 5
+
+    def test_snapshot_includes_custom(self):
+        stats = KernelStats()
+        stats.bump("widgets", 2)
+        snap = stats.snapshot()
+        assert snap["custom.widgets"] == 2
+
+    def test_diff(self):
+        stats = KernelStats()
+        before = stats.snapshot()
+        stats.sends = 10
+        delta = stats.diff(before)
+        assert delta["sends"] == 10
+        assert delta["receives"] == 0

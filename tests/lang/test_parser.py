@@ -1,0 +1,208 @@
+"""Parser tests for the ALPS surface syntax."""
+
+import pytest
+
+from repro.lang import LangSyntaxError, parse_program
+from repro.lang import ast
+
+
+MINIMAL = """
+object Cell defines
+  proc Put(Value);
+  proc Get() returns (Value);
+end Cell;
+
+object Cell implements
+  var Content := nil;
+  proc Put(V); begin Content := V; end Put;
+  proc Get() returns (1); begin return (Content); end Get;
+end Cell;
+"""
+
+
+class TestObjectParsing:
+    def test_definition_and_implementation(self):
+        program = parse_program(MINIMAL)
+        assert set(program.definitions) == {"Cell"}
+        assert set(program.implementations) == {"Cell"}
+        definition = program.definitions["Cell"]
+        assert [p.name for p in definition.procs] == ["Put", "Get"]
+        assert definition.procs[0].returns == 0
+        assert definition.procs[1].returns == 1
+
+    def test_mismatched_end_name_rejected(self):
+        with pytest.raises(LangSyntaxError):
+            parse_program("object A defines end B;")
+
+    def test_procedure_array_declaration(self):
+        program = parse_program(
+            """
+            object D implements
+              proc Search[1..SearchMax](Word) returns (1);
+              begin return (Word); end Search;
+            end D;
+            """
+        )
+        proc = program.implementations["D"].procs[0]
+        assert isinstance(proc.array, ast.Var)
+        assert proc.array.name == "SearchMax"
+
+    def test_numeric_array_bound(self):
+        program = parse_program(
+            """
+            object D implements
+              proc P[1..8](); begin skip; end P;
+            end D;
+            """
+        )
+        assert program.implementations["D"].procs[0].array == 8
+
+    def test_array_must_start_at_one(self):
+        with pytest.raises(LangSyntaxError):
+            parse_program(
+                "object D implements proc P[0..8](); begin skip; end P; end D;"
+            )
+
+    def test_typed_parameters(self):
+        program = parse_program(
+            """
+            object D implements
+              proc W(Key: KeyType, Data: DataType); begin skip; end W;
+            end D;
+            """
+        )
+        assert program.implementations["D"].procs[0].params == ["Key", "Data"]
+
+    def test_intercepts_with_params_and_results(self):
+        program = parse_program(
+            """
+            object D implements
+              proc S(W) returns (1); begin return (W); end S;
+              manager intercepts S(Word; Meaning);
+              begin skip; end manager;
+            end D;
+            """
+        )
+        clause = program.implementations["D"].manager.intercepts[0]
+        assert (clause.proc, clause.params, clause.results) == ("S", 1, 1)
+
+    def test_two_managers_rejected(self):
+        with pytest.raises(LangSyntaxError):
+            parse_program(
+                """
+                object D implements
+                  manager begin skip; end manager;
+                  manager begin skip; end manager;
+                end D;
+                """
+            )
+
+
+class TestStatementParsing:
+    def parse_body(self, statements):
+        program = parse_program(
+            f"""
+            object T implements
+              proc P(); begin {statements} end P;
+            end T;
+            """
+        )
+        return program.implementations["T"].procs[0].body
+
+    def test_assignment(self):
+        (stmt,) = self.parse_body("X := 1 + 2 * 3;")
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.value, ast.Binary)
+        assert stmt.value.op == "+"
+
+    def test_multi_assignment(self):
+        (stmt,) = self.parse_body("A, B := Obj.P(1);")
+        assert len(stmt.targets) == 2
+        assert isinstance(stmt.value, ast.CallExpr)
+
+    def test_if_elsif_else(self):
+        (stmt,) = self.parse_body(
+            "if A then X := 1; elsif B then X := 2; else X := 3; end if;"
+        )
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.arms) == 2
+        assert len(stmt.orelse) == 1
+
+    def test_while(self):
+        (stmt,) = self.parse_body("while N > 0 do N := N - 1; end while;")
+        assert isinstance(stmt, ast.While)
+
+    def test_send_receive(self):
+        send, recv = self.parse_body("send C(1, 2); receive C(X, Y);")
+        assert isinstance(send, ast.SendStmt)
+        assert len(send.values) == 2
+        assert isinstance(recv, ast.ReceiveStmt)
+        assert len(recv.targets) == 2
+
+    def test_work_and_return(self):
+        work, ret = self.parse_body("work(50); return (A, B);")
+        assert isinstance(work, ast.WorkStmt)
+        assert isinstance(ret, ast.ReturnStmt)
+        assert len(ret.values) == 2
+
+    def test_pending_count_expression(self):
+        (stmt,) = self.parse_body("X := #Write;")
+        assert isinstance(stmt.value, ast.Pending)
+        assert stmt.value.proc == "Write"
+
+    def test_operator_precedence(self):
+        (stmt,) = self.parse_body("X := 1 + 2 = 3 and true;")
+        # parses as ((1+2) = 3) and true
+        assert stmt.value.op == "and"
+        assert stmt.value.left.op == "="
+
+
+class TestGuardParsing:
+    def parse_manager(self, body):
+        program = parse_program(
+            f"""
+            object T implements
+              proc P(); begin skip; end P;
+              manager intercepts P;
+              begin {body} end manager;
+            end T;
+            """
+        )
+        return program.implementations["T"].manager.body
+
+    def test_loop_with_alternatives(self):
+        (stmt,) = self.parse_manager(
+            "loop accept P => execute P; or when false => skip; end loop;"
+        )
+        assert isinstance(stmt, ast.SelectStmt)
+        assert stmt.repetitive
+        assert [c.kind for c in stmt.clauses] == ["accept", "when"]
+
+    def test_quantified_guard(self):
+        (stmt,) = self.parse_manager(
+            "loop (i: 1..ReadMax) accept P[i] when X < 3 => start P; end loop;"
+        )
+        clause = stmt.clauses[0]
+        assert clause.kind == "accept"
+        assert clause.proc == "P"
+        assert clause.when is not None
+
+    def test_guard_with_pri(self):
+        (stmt,) = self.parse_manager(
+            "select accept P(N) when N > 0 pri 0 - N => start P; end select;"
+        )
+        clause = stmt.clauses[0]
+        assert clause.binders == ["N"]
+        assert clause.pri is not None
+
+    def test_await_guard_with_results(self):
+        (stmt,) = self.parse_manager(
+            "loop await P(R) => finish P(R); end loop;"
+        )
+        clause = stmt.clauses[0]
+        assert clause.kind == "await"
+        assert clause.binders == ["R"]
+
+    def test_select_not_repetitive(self):
+        (stmt,) = self.parse_manager("select accept P => skip; end select;")
+        assert not stmt.repetitive

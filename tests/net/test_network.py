@@ -1,0 +1,118 @@
+"""Unit tests for the simulated network graph."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.kernel import Kernel
+from repro.net import Network
+
+
+@pytest.fixture
+def net(kernel):
+    return Network(kernel)
+
+
+class TestTopology:
+    def test_add_and_fetch_nodes(self, net):
+        a = net.add_node("a")
+        assert net.node("a") is a
+        assert len(net.nodes()) == 1
+
+    def test_duplicate_node_rejected(self, net):
+        net.add_node("a")
+        with pytest.raises(NetworkError):
+            net.add_node("a")
+
+    def test_unknown_node_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.node("ghost")
+
+    def test_self_link_rejected(self, net):
+        net.add_node("a")
+        with pytest.raises(NetworkError):
+            net.connect("a", "a")
+
+    def test_connect_unknown_rejected(self, net):
+        net.add_node("a")
+        with pytest.raises(NetworkError):
+            net.connect("a", "b")
+
+    def test_negative_latency_rejected(self, net):
+        net.add_node("a")
+        net.add_node("b")
+        with pytest.raises(NetworkError):
+            net.connect("a", "b", latency=-1)
+
+
+class TestRouting:
+    def build_line(self, net, n=4, latency=2):
+        nodes = [net.add_node(f"n{i}") for i in range(n)]
+        for i in range(n - 1):
+            net.connect(nodes[i], nodes[i + 1], latency)
+        return nodes
+
+    def test_direct_link(self, net):
+        a, b = net.add_node("a"), net.add_node("b")
+        net.connect(a, b, 3)
+        assert net.latency(a, b) == 3
+
+    def test_multi_hop_shortest_path(self, net):
+        nodes = self.build_line(net, 4, latency=2)
+        assert net.latency(nodes[0], nodes[3]) == 6
+
+    def test_shortcut_preferred(self, net):
+        nodes = self.build_line(net, 4, latency=2)
+        net.connect(nodes[0], nodes[3], 1)
+        assert net.latency(nodes[0], nodes[3]) == 1
+
+    def test_same_node_zero(self, net):
+        a = net.add_node("a")
+        assert net.latency(a, a) == 0
+
+    def test_no_route_rejected(self, net):
+        a = net.add_node("a")
+        b = net.add_node("b")  # never connected
+        with pytest.raises(NetworkError):
+            net.latency(a, b)
+
+    def test_size_scales_latency(self, net):
+        a, b = net.add_node("a"), net.add_node("b")
+        net.connect(a, b, 3)
+        assert net.latency(a, b, size=4) == 12
+
+    def test_topology_change_invalidates_routes(self, net):
+        nodes = self.build_line(net, 3, latency=5)
+        assert net.latency(nodes[0], nodes[2]) == 10
+        net.connect(nodes[0], nodes[2], 1)
+        assert net.latency(nodes[0], nodes[2]) == 1
+
+    def test_diameter(self, net):
+        nodes = self.build_line(net, 5, latency=1)
+        assert net.diameter() == 4
+
+    def test_traffic_accumulates(self, net):
+        a, b = net.add_node("a"), net.add_node("b")
+        net.connect(a, b, 2)
+        net.latency(a, b)
+        net.latency(a, b)
+        assert net.traffic == 4
+
+
+class TestPlacement:
+    def test_spawn_tags_process(self, net):
+        node = net.add_node("a")
+
+        def proc():
+            yield from ()
+
+        p = node.spawn(proc)
+        assert p.node is node
+
+    def test_place_tags_object(self, net, kernel):
+        from repro.stdlib import BoundedBuffer
+
+        node = net.add_node("a")
+        buf = BoundedBuffer(kernel, size=2)
+        node.place(buf)
+        assert buf.node is node
+        assert "BoundedBuffer" in node.objects

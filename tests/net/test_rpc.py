@@ -1,0 +1,159 @@
+"""Tests for remote entry calls and cross-node channels."""
+
+import pytest
+
+from repro.channels import Receive
+from repro.kernel import Kernel, Par
+from repro.kernel.costs import FREE
+from repro.net import NetChannel, NetSend, transputer_grid
+from repro.stdlib import BoundedBuffer, Dictionary
+
+
+class TestRemoteCalls:
+    def test_remote_call_pays_round_trip(self):
+        kernel = Kernel(costs=FREE)
+        net = transputer_grid(kernel, 4, 4, link_latency=1)
+        d = Dictionary(kernel, entries={"cat": "feline"}, search_work=0)
+        net.node("t3_3").place(d)
+
+        def client():
+            value = yield d.search("cat")
+            return (value, kernel.clock.now)
+
+        proc = net.node("t0_0").spawn(client)
+        kernel.run()
+        value, elapsed = proc.result
+        assert value == "feline"
+        assert elapsed >= 12  # 6 hops out + 6 hops back
+
+    def test_local_call_pays_nothing(self):
+        kernel = Kernel(costs=FREE)
+        net = transputer_grid(kernel, 2, 2)
+        d = Dictionary(kernel, entries={"cat": "feline"}, search_work=0)
+        node = net.node("t0_0")
+        node.place(d)
+
+        def client():
+            value = yield d.search("cat")
+            return kernel.clock.now
+
+        proc = node.spawn(client)
+        kernel.run()
+        assert proc.result == 0
+
+    def test_unplaced_caller_pays_nothing(self):
+        kernel = Kernel(costs=FREE)
+        net = transputer_grid(kernel, 2, 2)
+        d = Dictionary(kernel, entries={"a": "b"}, search_work=0)
+        net.node("t0_0").place(d)
+
+        def client():
+            yield d.search("a")
+            return kernel.clock.now
+
+        proc = kernel.spawn(client)  # no home node
+        kernel.run()
+        assert proc.result == 0
+
+    def test_closer_replica_is_faster(self):
+        kernel = Kernel(costs=FREE)
+        net = transputer_grid(kernel, 4, 4)
+        near = Dictionary(kernel, entries={"a": "b"}, search_work=0, name="near")
+        far = Dictionary(kernel, entries={"a": "b"}, search_work=0, name="far")
+        net.node("t0_1").place(near)
+        net.node("t3_3").place(far)
+        times = {}
+
+        def client(obj, tag):
+            start = kernel.clock.now
+            yield obj.search("a")
+            times[tag] = kernel.clock.now - start
+
+        home = net.node("t0_0")
+        home.spawn(client, near, "near")
+        home.spawn(client, far, "far")
+        kernel.run()
+        assert times["near"] < times["far"]
+
+    def test_distributed_producer_consumer(self):
+        kernel = Kernel(costs=FREE)
+        net = transputer_grid(kernel, 4, 4)
+        buf = BoundedBuffer(kernel, size=4)
+        net.node("t1_1").place(buf)
+
+        def producer():
+            for i in range(5):
+                yield buf.deposit(i)
+
+        def consumer():
+            got = []
+            for _ in range(5):
+                got.append((yield buf.remove()))
+            return got
+
+        net.node("t0_0").spawn(producer)
+        proc = net.node("t3_3").spawn(consumer)
+        kernel.run()
+        assert proc.result == [0, 1, 2, 3, 4]
+        assert kernel.clock.now > 0  # network latency was paid
+
+
+class TestNetChannels:
+    def test_remote_send_delayed(self):
+        kernel = Kernel(costs=FREE)
+        net = transputer_grid(kernel, 4, 4)
+        inbox = NetChannel(net.node("t3_3"), name="inbox")
+
+        def sender():
+            yield NetSend(inbox, "hello")
+
+        def receiver():
+            value = yield Receive(inbox)
+            return (value, kernel.clock.now)
+
+        net.node("t0_0").spawn(sender)
+        proc = net.node("t3_3").spawn(receiver)
+        kernel.run()
+        value, when = proc.result
+        assert value == "hello"
+        assert when >= 6
+
+    def test_local_send_immediate(self):
+        kernel = Kernel(costs=FREE)
+        net = transputer_grid(kernel, 2, 2)
+        node = net.node("t0_0")
+        inbox = NetChannel(node, name="inbox")
+
+        def sender():
+            yield NetSend(inbox, "hi")
+
+        def receiver():
+            yield Receive(inbox)
+            return kernel.clock.now
+
+        node.spawn(sender)
+        proc = node.spawn(receiver)
+        kernel.run()
+        assert proc.result == 0
+
+    def test_message_size_scales_delay(self):
+        kernel = Kernel(costs=FREE)
+        net = transputer_grid(kernel, 4, 4)
+        inbox = NetChannel(net.node("t0_3"), name="inbox")
+        times = []
+
+        def sender(size):
+            yield NetSend(inbox, "payload", size=size)
+
+        def receiver():
+            for _ in range(2):
+                yield Receive(inbox)
+                times.append(kernel.clock.now)
+
+        net.node("t0_0").spawn(sender, 1)
+        proc = net.node("t0_3").spawn(receiver)
+        kernel.run(until=5)
+        net.node("t0_0").spawn(sender, 10)
+        kernel.run()
+        assert times[0] == 3      # 3 hops x size 1
+        assert times[1] >= 30     # 3 hops x size 10

@@ -1,0 +1,68 @@
+"""Tests for the topology builders (§4 transputer grid and friends)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.kernel import Kernel
+from repro.net import full_mesh, hypercube, ring, star, transputer_grid
+
+
+class TestTransputerGrid:
+    def test_sixteen_nodes_default(self, kernel):
+        net = transputer_grid(kernel)
+        assert len(net.nodes()) == 16  # the paper's machine
+
+    def test_grid_diameter(self, kernel):
+        net = transputer_grid(kernel, 4, 4, link_latency=1)
+        assert net.diameter() == 6  # (4-1)+(4-1) hops
+
+    def test_torus_shrinks_diameter(self, kernel):
+        grid = transputer_grid(kernel, 4, 4)
+        torus = transputer_grid(Kernel(), 4, 4, torus=True)
+        assert torus.diameter() < grid.diameter()
+
+    def test_max_four_links_per_chip(self, kernel):
+        # A transputer has exactly four links.
+        net = transputer_grid(kernel, 4, 4)
+        for name, links in net._links.items():
+            assert len(links) <= 4
+
+    def test_manhattan_routing(self, kernel):
+        net = transputer_grid(kernel, 4, 4, link_latency=2)
+        assert net.latency("t0_0", "t2_3") == 2 * (2 + 3)
+
+    def test_invalid_shape_rejected(self, kernel):
+        with pytest.raises(NetworkError):
+            transputer_grid(kernel, 0, 4)
+
+
+class TestOtherTopologies:
+    def test_ring_roundtrip(self, kernel):
+        net = ring(kernel, 6)
+        assert net.latency("n0", "n3") == 3  # halfway either way
+        assert net.latency("n0", "n5") == 1  # wraps around
+
+    def test_ring_too_small_rejected(self, kernel):
+        with pytest.raises(NetworkError):
+            ring(kernel, 1)
+
+    def test_star_two_hops_max(self, kernel):
+        net = star(kernel, 5)
+        assert net.latency("n0", "n4") == 2
+        assert net.latency("hub", "n2") == 1
+        assert net.diameter() == 2
+
+    def test_full_mesh_single_hop(self, kernel):
+        net = full_mesh(kernel, 5)
+        assert net.diameter() == 1
+
+    def test_hypercube_diameter_is_dimension(self, kernel):
+        net = hypercube(kernel, 4)
+        assert len(net.nodes()) == 16
+        assert net.diameter() == 4
+
+    def test_hypercube_neighbors_differ_one_bit(self, kernel):
+        net = hypercube(kernel, 3)
+        assert net.latency("n000", "n001") == 1
+        assert net.latency("n000", "n011") == 2
+        assert net.latency("n000", "n111") == 3

@@ -1,0 +1,60 @@
+"""Property-based safety for the resource allocator and combining."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Delay, Kernel, Par
+from repro.kernel.costs import FREE
+from repro.stdlib import Barrier, ResourceAllocator
+
+
+@given(
+    total=st.integers(min_value=1, max_value=10),
+    requests=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=8),
+    seed=st.integers(min_value=0, max_value=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_allocator_never_oversubscribes(total, requests, seed):
+    # Only run requests that can individually be satisfied.
+    requests = [min(r, total) for r in requests]
+    kernel = Kernel(costs=FREE, seed=seed, arbitration="random")
+    alloc = ResourceAllocator(kernel, total=total, request_max=len(requests) + 1)
+
+    def user(n, i):
+        yield Delay(i % 3)
+        yield alloc.acquire(n)
+        yield Delay(2)
+        yield alloc.release(n)
+
+    def main():
+        yield Par(*[lambda n=n, i=i: user(n, i) for i, n in enumerate(requests)])
+
+    kernel.run_process(main)
+    assert all(avail >= 0 for _t, avail in alloc.history)
+    assert alloc.available == total
+
+
+@given(
+    parties=st.integers(min_value=1, max_value=5),
+    waves=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_barrier_ranks_complete_each_generation(parties, waves):
+    kernel = Kernel(costs=FREE)
+    barrier = Barrier(kernel, parties=parties)
+    results = []
+
+    def party():
+        for _ in range(waves):
+            results.append((yield barrier.arrive()))
+
+    def main():
+        yield Par(*[lambda: party() for _ in range(parties)])
+
+    kernel.run_process(main)
+    # Every generation hands out ranks 0..parties-1 exactly once.
+    by_generation = {}
+    for rank, generation in results:
+        by_generation.setdefault(generation, []).append(rank)
+    assert len(by_generation) == waves
+    for generation, ranks in by_generation.items():
+        assert sorted(ranks) == list(range(parties))

@@ -1,0 +1,132 @@
+"""Property-based tests on the bounded buffers: conservation, bounds,
+and equivalence between the manager version and every baseline."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import MonitorBuffer, PathBuffer, SemaphoreBuffer
+from repro.kernel import Kernel, Par
+from repro.kernel.costs import FREE
+from repro.stdlib import BoundedBuffer, ParallelBuffer
+
+
+@given(
+    size=st.integers(min_value=1, max_value=6),
+    message_count=st.integers(min_value=0, max_value=25),
+)
+@settings(max_examples=40, deadline=None)
+def test_manager_buffer_fifo_any_size(size, message_count):
+    kernel = Kernel(costs=FREE)
+    buf = BoundedBuffer(kernel, size=size)
+
+    def producer():
+        for i in range(message_count):
+            yield buf.deposit(i)
+
+    def consumer():
+        got = []
+        for _ in range(message_count):
+            got.append((yield buf.remove()))
+        return got
+
+    kernel.spawn(producer)
+    proc = kernel.spawn(consumer)
+    kernel.run()
+    assert proc.result == list(range(message_count))
+
+
+@given(
+    size=st.integers(min_value=1, max_value=5),
+    producers=st.integers(min_value=1, max_value=3),
+    consumers=st.integers(min_value=1, max_value=3),
+    per_producer=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=30, deadline=None)
+def test_parallel_buffer_conserves_under_random_arbitration(
+    size, producers, consumers, per_producer, seed
+):
+    total = producers * per_producer
+    # Distribute removals over consumers exactly.
+    quota = [total // consumers] * consumers
+    for i in range(total % consumers):
+        quota[i] += 1
+
+    kernel = Kernel(costs=FREE, seed=seed, arbitration="random")
+    buf = ParallelBuffer(
+        kernel,
+        size=size,
+        producer_max=producers,
+        consumer_max=consumers,
+        copy_work=3,
+    )
+    received = []
+
+    def producer(base):
+        for i in range(per_producer):
+            yield buf.deposit((base, i))
+
+    def consumer(count):
+        for _ in range(count):
+            received.append((yield buf.remove()))
+
+    def main():
+        yield Par(
+            *[lambda b=b: producer(b) for b in range(producers)],
+            *[lambda q=q: consumer(q) for q in quota],
+        )
+
+    kernel.run_process(main)
+    expected = [(b, i) for b in range(producers) for i in range(per_producer)]
+    assert sorted(received) == sorted(expected)
+
+
+@given(
+    size=st.integers(min_value=1, max_value=5),
+    message_count=st.integers(min_value=0, max_value=15),
+)
+@settings(max_examples=20, deadline=None)
+def test_all_implementations_agree(size, message_count):
+    """Manager buffer and all three baselines deliver identical streams."""
+
+    def run_manager():
+        kernel = Kernel(costs=FREE)
+        buf = BoundedBuffer(kernel, size=size)
+
+        def producer():
+            for i in range(message_count):
+                yield buf.deposit(i)
+
+        def consumer():
+            got = []
+            for _ in range(message_count):
+                got.append((yield buf.remove()))
+            return got
+
+        kernel.spawn(producer)
+        proc = kernel.spawn(consumer)
+        kernel.run()
+        return proc.result
+
+    def run_baseline(cls):
+        kernel = Kernel(costs=FREE)
+        buf = cls(kernel, size=size)
+
+        def producer():
+            for i in range(message_count):
+                yield from buf.deposit(i)
+
+        def consumer():
+            got = []
+            for _ in range(message_count):
+                got.append((yield from buf.remove()))
+            return got
+
+        kernel.spawn(producer)
+        proc = kernel.spawn(consumer)
+        kernel.run()
+        return proc.result
+
+    reference = run_manager()
+    assert reference == list(range(message_count))
+    for cls in (SemaphoreBuffer, MonitorBuffer, PathBuffer):
+        assert run_baseline(cls) == reference

@@ -1,0 +1,94 @@
+"""Property-based tests on channels: FIFO order and conservation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.channels import Channel, Receive, Send
+from repro.kernel import Delay, Kernel, Par
+from repro.kernel.costs import FREE
+
+messages = st.lists(st.integers(), min_size=0, max_size=30)
+
+
+@given(values=messages)
+@settings(max_examples=40, deadline=None)
+def test_single_channel_preserves_fifo(values):
+    kernel = Kernel(costs=FREE)
+    ch = Channel()
+
+    def producer():
+        for value in values:
+            yield Send(ch, value)
+
+    def consumer():
+        got = []
+        for _ in values:
+            got.append((yield Receive(ch)))
+        return got
+
+    kernel.spawn(producer)
+    proc = kernel.spawn(consumer)
+    kernel.run()
+    assert proc.result == values
+
+
+@given(
+    values=messages,
+    capacity=st.integers(min_value=1, max_value=5),
+    consumer_delay=st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_bounded_channel_preserves_fifo_and_conserves(values, capacity, consumer_delay):
+    kernel = Kernel(costs=FREE)
+    ch = Channel(capacity=capacity)
+
+    def producer():
+        for value in values:
+            yield Send(ch, value)
+
+    def consumer():
+        got = []
+        for _ in values:
+            if consumer_delay:
+                yield Delay(consumer_delay)
+            got.append((yield Receive(ch)))
+        return got
+
+    kernel.spawn(producer)
+    proc = kernel.spawn(consumer)
+    kernel.run()
+    assert proc.result == values
+    assert ch.total_sent == ch.total_received == len(values)
+
+
+@given(
+    producer_count=st.integers(min_value=1, max_value=4),
+    per_producer=st.integers(min_value=0, max_value=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_multi_producer_conservation(producer_count, per_producer):
+    kernel = Kernel(costs=FREE)
+    ch = Channel()
+    total = producer_count * per_producer
+    received = []
+
+    def producer(base):
+        for i in range(per_producer):
+            yield Send(ch, (base, i))
+
+    def consumer():
+        for _ in range(total):
+            received.append((yield Receive(ch)))
+
+    def main():
+        yield Par(
+            *[lambda b=b: producer(b) for b in range(producer_count)],
+            lambda: consumer(),
+        )
+
+    kernel.run_process(main)
+    expected = [(b, i) for b in range(producer_count) for i in range(per_producer)]
+    assert sorted(received) == sorted(expected)
+    # Per-producer order preserved even under interleaving.
+    for base in range(producer_count):
+        mine = [i for (b, i) in received if b == base]
+        assert mine == sorted(mine)

@@ -1,0 +1,117 @@
+"""Property-based tests on path-expression counter invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import compile_path
+from repro.kernel import Delay, Kernel, Par
+from repro.kernel.costs import FREE
+
+
+@given(
+    limit=st.integers(min_value=1, max_value=4),
+    workers=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_restriction_never_exceeded(limit, workers, seed):
+    kernel = Kernel(costs=FREE, seed=seed, arbitration="random")
+    rt = compile_path(f"path {limit}:(op) end")
+    active = {"count": 0, "peak": 0}
+
+    def worker(i):
+        yield Delay(i % 3)
+        yield from rt.before("op")
+        active["count"] += 1
+        active["peak"] = max(active["peak"], active["count"])
+        yield Delay(5)
+        active["count"] -= 1
+        yield from rt.after("op")
+
+    def main():
+        yield Par(*[lambda i=i: worker(i) for i in range(workers)])
+
+    kernel.run_process(main)
+    assert active["peak"] <= limit
+    assert active["count"] == 0
+    assert rt.counts["op"] == workers
+
+
+@given(
+    n=st.integers(min_value=1, max_value=4),
+    rounds=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_sequence_counts_never_invert(n, rounds):
+    """In path N:(a; b), completed(b) <= completed(a) <= completed(b)+N
+    at every instant (checked at operation boundaries)."""
+    kernel = Kernel(costs=FREE)
+    rt = compile_path(f"path {n}:(a; b) end")
+    violations = []
+
+    def check():
+        a, b = rt.counts["a"], rt.counts["b"]
+        if not (b <= a <= b + n):
+            violations.append((a, b))
+
+    def doer_a():
+        for _ in range(rounds):
+            yield from rt.before("a")
+            check()
+            yield from rt.after("a")
+            check()
+
+    def doer_b():
+        for _ in range(rounds):
+            yield from rt.before("b")
+            check()
+            yield from rt.after("b")
+            check()
+
+    kernel.spawn(doer_a)
+    kernel.spawn(doer_b)
+    kernel.run()
+    assert violations == []
+    assert rt.counts["a"] == rt.counts["b"] == rounds
+
+
+@given(
+    readers=st.integers(min_value=0, max_value=6),
+    writers=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=20),
+)
+@settings(max_examples=30, deadline=None)
+def test_burst_readers_writers_invariant(readers, writers, seed):
+    kernel = Kernel(costs=FREE, seed=seed, arbitration="random")
+    rt = compile_path("path 1:([read], write) end")
+    state = {"r": 0, "w": 0, "bad": 0}
+
+    def reader(i):
+        yield Delay(i % 2)
+        yield from rt.before("read")
+        state["r"] += 1
+        if state["w"]:
+            state["bad"] += 1
+        yield Delay(3)
+        state["r"] -= 1
+        yield from rt.after("read")
+
+    def writer(i):
+        yield Delay(i % 2)
+        yield from rt.before("write")
+        state["w"] += 1
+        if state["w"] > 1 or state["r"]:
+            state["bad"] += 1
+        yield Delay(3)
+        state["w"] -= 1
+        yield from rt.after("write")
+
+    def main():
+        tasks = [lambda i=i: reader(i) for i in range(readers)]
+        tasks += [lambda i=i: writer(i) for i in range(writers)]
+        if tasks:
+            yield Par(*tasks)
+        else:
+            yield Delay(0)
+
+    kernel.run_process(main)
+    assert state["bad"] == 0

@@ -1,0 +1,74 @@
+"""Property-based exclusion invariants for readers-writers (§2.5.1)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Delay, Kernel, Par
+from repro.kernel.costs import FREE
+from repro.stdlib import Database
+
+
+@given(
+    read_max=st.integers(min_value=1, max_value=5),
+    readers=st.integers(min_value=0, max_value=10),
+    writers=st.integers(min_value=0, max_value=5),
+    read_work=st.integers(min_value=0, max_value=30),
+    write_work=st.integers(min_value=0, max_value=30),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=40, deadline=None)
+def test_exclusion_invariants_hold(read_max, readers, writers, read_work, write_work, seed):
+    kernel = Kernel(costs=FREE, seed=seed, arbitration="random")
+    db = Database(
+        kernel,
+        read_max=read_max,
+        read_work=read_work,
+        write_work=write_work,
+        initial={"k": 0},
+    )
+
+    def reader(i):
+        yield Delay(i % 4)
+        yield db.read("k")
+
+    def writer(i):
+        yield Delay(i % 3)
+        yield db.write("k", i)
+
+    def main():
+        tasks = [lambda i=i: reader(i) for i in range(readers)]
+        tasks += [lambda i=i: writer(i) for i in range(writers)]
+        if tasks:
+            yield Par(*tasks)
+        else:
+            yield Delay(0)
+
+    kernel.run_process(main)
+    # The §2.5.1 invariants, checked by the bodies themselves:
+    assert db.exclusion_violations == 0
+    assert db.max_concurrent_readers <= read_max
+    assert db.active_readers == 0
+    assert db.active_writers == 0
+
+
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3), st.integers()),
+        min_size=0,
+        max_size=10,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_sequential_write_read_consistency(writes):
+    kernel = Kernel(costs=FREE)
+    db = Database(kernel, read_max=2, read_work=0, write_work=0)
+
+    def main():
+        expected = {}
+        for key, value in writes:
+            yield db.write(key, value)
+            expected[key] = value
+        for key, value in expected.items():
+            got = yield db.read(key)
+            assert got == value
+
+    kernel.run_process(main)

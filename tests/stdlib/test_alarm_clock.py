@@ -1,0 +1,95 @@
+"""Tests for the alarm clock (Timeout guards inside a manager)."""
+
+import pytest
+
+from repro.kernel import Delay, Kernel, Par
+from repro.kernel.costs import FREE
+from repro.stdlib import AlarmClock
+
+
+class TestAlarmClock:
+    def test_sleep_for(self):
+        kernel = Kernel(costs=FREE)
+        clock = AlarmClock(kernel)
+
+        def sleeper():
+            woke_at = yield clock.sleep_for(50)
+            return (woke_at, kernel.clock.now)
+
+        proc = kernel.spawn(sleeper)
+        kernel.run()
+        woke_at, now = proc.result
+        assert woke_at >= 50
+        assert now >= 50
+
+    def test_sleep_until_absolute(self):
+        kernel = Kernel(costs=FREE)
+        clock = AlarmClock(kernel)
+
+        def sleeper():
+            yield clock.sleep_until(120)
+            return kernel.clock.now
+
+        proc = kernel.spawn(sleeper)
+        kernel.run()
+        assert proc.result >= 120
+
+    def test_past_deadline_returns_immediately(self):
+        kernel = Kernel(costs=FREE)
+        clock = AlarmClock(kernel)
+
+        def sleeper():
+            yield Delay(40)
+            yield clock.sleep_until(10)  # already past
+            return kernel.clock.now
+
+        proc = kernel.spawn(sleeper)
+        kernel.run()
+        assert proc.result == pytest.approx(40, abs=2)
+
+    def test_wakeup_order_by_deadline(self):
+        kernel = Kernel(costs=FREE)
+        clock = AlarmClock(kernel)
+        order = []
+
+        def sleeper(tag, ticks):
+            yield clock.sleep_for(ticks)
+            order.append(tag)
+
+        def main():
+            yield Par(
+                lambda: sleeper("late", 90),
+                lambda: sleeper("early", 10),
+                lambda: sleeper("middle", 50),
+            )
+
+        kernel.run_process(main)
+        assert order == ["early", "middle", "late"]
+
+    def test_no_bodies_run(self):
+        kernel = Kernel(costs=FREE)
+        clock = AlarmClock(kernel)
+
+        def main():
+            yield clock.sleep_for(5)
+
+        kernel.run_process(main)
+        assert kernel.stats.starts == 0
+        assert kernel.stats.calls_combined == 1
+
+    def test_many_simultaneous_sleepers(self):
+        kernel = Kernel(costs=FREE)
+        clock = AlarmClock(kernel, wait_max=32)
+        wake_times = []
+
+        def sleeper(ticks):
+            yield clock.sleep_for(ticks)
+            wake_times.append((ticks, kernel.clock.now))
+
+        def main():
+            yield Par(*[lambda t=t: sleeper(t) for t in range(5, 55, 5)])
+
+        kernel.run_process(main)
+        for requested, actual in wake_times:
+            assert actual >= requested
+        assert clock.sleeping == 0

@@ -1,0 +1,85 @@
+"""Tests for the combining barrier."""
+
+import pytest
+
+from repro.kernel import Delay, Kernel, Par
+from repro.kernel.costs import FREE
+from repro.stdlib import Barrier
+
+
+class TestBarrier:
+    def test_parties_released_together(self):
+        kernel = Kernel(costs=FREE)
+        barrier = Barrier(kernel, parties=3)
+        release_times = []
+
+        def party(i):
+            yield Delay(i * 10)  # staggered arrivals
+            rank, generation = yield barrier.arrive()
+            release_times.append(kernel.clock.now)
+            return (rank, generation)
+
+        def main():
+            return (yield Par(*[lambda i=i: party(i) for i in range(3)]))
+
+        results = kernel.run_process(main)
+        assert len(set(release_times)) == 1  # all released at one instant
+        assert sorted(r for r, _g in results) == [0, 1, 2]
+        assert all(g == 0 for _r, g in results)
+
+    def test_generations_increment(self):
+        kernel = Kernel(costs=FREE)
+        barrier = Barrier(kernel, parties=2)
+
+        def party():
+            results = []
+            for _ in range(3):
+                results.append((yield barrier.arrive()))
+            return results
+
+        def main():
+            both = yield Par(lambda: party(), lambda: party())
+            return both[0]
+
+        rounds = kernel.run_process(main)
+        assert [g for _r, g in rounds] == [0, 1, 2]
+
+    def test_no_bodies_ever_run(self):
+        kernel = Kernel(costs=FREE)
+        barrier = Barrier(kernel, parties=2)
+
+        def party():
+            yield barrier.arrive()
+
+        def main():
+            yield Par(lambda: party(), lambda: party())
+
+        kernel.run_process(main)
+        assert kernel.stats.starts == 0  # pure combining
+        assert kernel.stats.calls_combined == 2
+
+    def test_excess_parties_wait_for_next_generation(self):
+        kernel = Kernel(costs=FREE)
+        barrier = Barrier(kernel, parties=2)
+
+        def party(i):
+            rank, generation = yield barrier.arrive()
+            return generation
+
+        def main():
+            return (yield Par(*[lambda i=i: party(i) for i in range(4)]))
+
+        generations = kernel.run_process(main)
+        assert sorted(generations) == [0, 0, 1, 1]
+
+    def test_single_party_barrier(self, kernel):
+        barrier = Barrier(kernel, parties=1)
+
+        def main():
+            return (yield barrier.arrive())
+
+        assert kernel.run_process(main) == (0, 0)
+
+    def test_invalid_parties_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            Barrier(kernel, parties=0)

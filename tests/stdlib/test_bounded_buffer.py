@@ -1,0 +1,136 @@
+"""Tests for the §2.4.1 bounded buffer (manager as monitor)."""
+
+import pytest
+
+from repro.kernel import Delay, Kernel, Par
+from repro.kernel.costs import FREE
+from repro.stdlib import BoundedBuffer
+
+
+class TestBoundedBuffer:
+    def test_fifo_single_producer_consumer(self):
+        kernel = Kernel(costs=FREE)
+        buf = BoundedBuffer(kernel, size=4)
+
+        def producer():
+            for i in range(10):
+                yield buf.deposit(i)
+
+        def consumer():
+            got = []
+            for _ in range(10):
+                got.append((yield buf.remove()))
+            return got
+
+        kernel.spawn(producer)
+        proc = kernel.spawn(consumer)
+        kernel.run()
+        assert proc.result == list(range(10))
+
+    def test_deposit_blocks_when_full(self):
+        kernel = Kernel(costs=FREE)
+        buf = BoundedBuffer(kernel, size=2)
+        deposited = []
+
+        def producer():
+            for i in range(5):
+                yield buf.deposit(i)
+                deposited.append(i)
+
+        def consumer():
+            yield Delay(1000)
+            for _ in range(5):
+                yield buf.remove()
+
+        kernel.spawn(producer)
+        kernel.spawn(consumer)
+        kernel.run(until=500)
+        assert len(deposited) == 2
+        kernel.run()
+        assert len(deposited) == 5
+
+    def test_remove_blocks_when_empty(self):
+        kernel = Kernel(costs=FREE)
+        buf = BoundedBuffer(kernel, size=2)
+
+        def consumer():
+            value = yield buf.remove()
+            return (value, kernel.clock.now)
+
+        def producer():
+            yield Delay(77)
+            yield buf.deposit("late")
+
+        proc = kernel.spawn(consumer)
+        kernel.spawn(producer)
+        kernel.run()
+        value, when = proc.result
+        assert value == "late"
+        assert when >= 77
+
+    def test_size_one_alternates(self):
+        kernel = Kernel(costs=FREE)
+        buf = BoundedBuffer(kernel, size=1)
+
+        def producer():
+            for i in range(4):
+                yield buf.deposit(i)
+
+        def consumer():
+            got = []
+            for _ in range(4):
+                got.append((yield buf.remove()))
+            return got
+
+        kernel.spawn(producer)
+        proc = kernel.spawn(consumer)
+        kernel.run()
+        assert proc.result == [0, 1, 2, 3]
+
+    def test_invalid_size_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            BoundedBuffer(kernel, size=0)
+
+    def test_multiple_producers_consumers_conserve_messages(self):
+        kernel = Kernel(costs=FREE)
+        buf = BoundedBuffer(kernel, size=3)
+        received = []
+
+        def producer(base):
+            for i in range(6):
+                yield buf.deposit(base + i)
+
+        def consumer():
+            for _ in range(6):
+                received.append((yield buf.remove()))
+
+        def main():
+            yield Par(
+                lambda: producer(0),
+                lambda: producer(100),
+                lambda: consumer(),
+                lambda: consumer(),
+            )
+
+        kernel.run_process(main)
+        assert sorted(received) == sorted(list(range(6)) + list(range(100, 106)))
+
+    def test_manager_serializes_bodies(self):
+        # §2.4.1's manager uses execute: strict mutual exclusion even with
+        # body work.
+        kernel = Kernel(costs=FREE)
+        buf = BoundedBuffer(kernel, size=4, work=10)
+
+        def producer():
+            for i in range(3):
+                yield buf.deposit(i)
+
+        def consumer():
+            for _ in range(3):
+                yield buf.remove()
+
+        kernel.spawn(producer)
+        kernel.spawn(consumer)
+        kernel.run()
+        # 6 operations x 10 ticks, fully serialized by the manager.
+        assert kernel.clock.now >= 60

@@ -1,0 +1,124 @@
+"""Tests for the §2.7.1 dictionary with request combining."""
+
+import pytest
+
+from repro.kernel import Kernel, Par
+from repro.kernel.costs import FREE
+from repro.stdlib import Dictionary
+
+WORDS = {"cat": "feline", "dog": "canine", "ant": "insect"}
+
+
+class TestLookup:
+    def test_finds_meaning(self, kernel):
+        d = Dictionary(kernel, entries=WORDS, search_work=0)
+
+        def main():
+            return (yield d.search("cat"))
+
+        assert kernel.run_process(main) == "feline"
+
+    def test_missing_word(self, kernel):
+        d = Dictionary(kernel, entries=WORDS, search_work=0)
+
+        def main():
+            return (yield d.search("xyz"))
+
+        assert "not found" in kernel.run_process(main)
+
+
+class TestCombining:
+    def test_concurrent_duplicates_one_search(self):
+        kernel = Kernel(costs=FREE)
+        d = Dictionary(kernel, entries=WORDS, search_max=8, search_work=100)
+
+        def q():
+            return (yield d.search("cat"))
+
+        def main():
+            return (yield Par(*[lambda: q() for _ in range(6)]))
+
+        assert kernel.run_process(main) == ["feline"] * 6
+        assert d.searches_executed == 1
+        assert kernel.stats.calls_combined == 5
+
+    def test_different_words_not_combined(self):
+        kernel = Kernel(costs=FREE)
+        d = Dictionary(kernel, entries=WORDS, search_max=8, search_work=50)
+
+        def q(word):
+            return (yield d.search(word))
+
+        def main():
+            return (yield Par(lambda: q("cat"), lambda: q("dog"), lambda: q("ant")))
+
+        assert kernel.run_process(main) == ["feline", "canine", "insect"]
+        assert d.searches_executed == 3
+        assert kernel.stats.calls_combined == 0
+
+    def test_sequential_requests_not_combined(self, kernel):
+        # Combining only helps while a search is in flight.
+        d = Dictionary(kernel, entries=WORDS, search_work=5)
+
+        def main():
+            first = yield d.search("cat")
+            second = yield d.search("cat")
+            return (first, second)
+
+        assert kernel.run_process(main) == ("feline", "feline")
+        assert d.searches_executed == 2
+
+    def test_combining_disabled_runs_every_search(self):
+        kernel = Kernel(costs=FREE)
+        d = Dictionary(
+            kernel, entries=WORDS, search_max=8, search_work=50, combining=False
+        )
+
+        def q():
+            return (yield d.search("cat"))
+
+        def main():
+            return (yield Par(*[lambda: q() for _ in range(5)]))
+
+        assert kernel.run_process(main) == ["feline"] * 5
+        assert d.searches_executed == 5
+        assert kernel.stats.calls_combined == 0
+
+    def test_combining_reduces_total_work(self):
+        def work(combining):
+            kernel = Kernel(costs=FREE)
+            d = Dictionary(
+                kernel, entries=WORDS, search_max=16, search_work=50,
+                combining=combining,
+            )
+
+            def q():
+                return (yield d.search("cat"))
+
+            def main():
+                yield Par(*[lambda: q() for _ in range(10)])
+
+            kernel.run_process(main)
+            return kernel.stats.work_ticks
+
+        assert work(True) < work(False)
+
+    def test_mixed_duplicate_and_unique(self):
+        kernel = Kernel(costs=FREE)
+        d = Dictionary(kernel, entries=WORDS, search_max=8, search_work=50)
+
+        def q(word):
+            return (yield d.search(word))
+
+        def main():
+            return (
+                yield Par(
+                    lambda: q("cat"),
+                    lambda: q("cat"),
+                    lambda: q("dog"),
+                    lambda: q("cat"),
+                )
+            )
+
+        assert kernel.run_process(main) == ["feline", "feline", "canine", "feline"]
+        assert d.searches_executed == 2  # one for cat, one for dog

@@ -1,0 +1,76 @@
+"""Tests for the SCAN disk scheduler (run-time guard priorities)."""
+
+import pytest
+
+from repro.kernel import Delay, Kernel, Par
+from repro.kernel.costs import FREE
+from repro.stdlib import DiskScheduler
+
+
+def submit(kernel, disk, cylinders, arrival_delay=1):
+    def request(c):
+        yield Delay(arrival_delay)
+        yield disk.access(c)
+
+    def main():
+        yield Par(*[lambda c=c: request(c) for c in cylinders])
+
+    kernel.run_process(main)
+
+
+class TestScan:
+    def test_sweeps_in_one_direction(self):
+        kernel = Kernel(costs=FREE)
+        disk = DiskScheduler(kernel, seek_cost=1, transfer_work=1)
+        submit(kernel, disk, [50, 30, 70, 10, 90])
+        order = disk.service_order
+        # After the first-served request, the head sweeps monotonically up
+        # then monotonically down (at most one direction change).
+        changes = 0
+        for i in range(2, len(order)):
+            if (order[i] - order[i - 1]) * (order[i - 1] - order[i - 2]) < 0:
+                changes += 1
+        assert changes <= 1
+
+    def test_scan_beats_fifo_seek_distance(self):
+        requests = [98, 183, 37, 122, 14, 124, 65, 67]
+
+        kernel = Kernel(costs=FREE)
+        disk = DiskScheduler(kernel, seek_cost=1, transfer_work=1)
+        submit(kernel, disk, requests)
+        scan_seek = disk.total_seek
+
+        fifo_seek = 0
+        head = 0
+        for c in requests:
+            fifo_seek += abs(c - head)
+            head = c
+        assert scan_seek < fifo_seek
+
+    def test_all_requests_served(self):
+        kernel = Kernel(costs=FREE)
+        disk = DiskScheduler(kernel)
+        cylinders = [5, 100, 42, 7, 160, 42]
+        submit(kernel, disk, cylinders)
+        assert sorted(disk.service_order) == sorted(cylinders)
+
+    def test_sequential_requests_fifo(self, kernel):
+        disk = DiskScheduler(kernel)
+
+        def main():
+            yield disk.access(10)
+            yield disk.access(5)
+            yield disk.access(20)
+
+        kernel.run_process(main)
+        assert disk.service_order == [10, 5, 20]
+
+    def test_seek_time_charged(self):
+        kernel = Kernel(costs=FREE)
+        disk = DiskScheduler(kernel, seek_cost=2, transfer_work=0)
+
+        def main():
+            yield disk.access(30)
+
+        kernel.run_process(main)
+        assert kernel.stats.work_ticks == 60  # 30 cylinders x 2

@@ -1,0 +1,116 @@
+"""Tests for the §2.8.2 parallel bounded buffer."""
+
+import pytest
+
+from repro.kernel import Kernel, Par
+from repro.kernel.costs import FREE
+from repro.stdlib import BoundedBuffer, ParallelBuffer
+
+
+def pump(kernel, buf, producers, consumers, per_producer):
+    """Run P producers and C consumers; returns list of received batches."""
+    total = producers * per_producer
+    per_consumer, extra = divmod(total, consumers)
+    assert extra == 0
+    received = []
+
+    def producer(base):
+        for i in range(per_producer):
+            yield buf.deposit((base, i))
+
+    def consumer():
+        for _ in range(per_consumer):
+            received.append((yield buf.remove()))
+
+    def main():
+        yield Par(
+            *[lambda b=b: producer(b) for b in range(producers)],
+            *[lambda: consumer() for _ in range(consumers)],
+        )
+
+    kernel.run_process(main)
+    return received
+
+
+class TestTransfer:
+    def test_all_messages_delivered_once(self):
+        kernel = Kernel(costs=FREE)
+        buf = ParallelBuffer(kernel, size=4, producer_max=3, consumer_max=3, copy_work=5)
+        received = pump(kernel, buf, producers=3, consumers=3, per_producer=4)
+        expected = [(b, i) for b in range(3) for i in range(4)]
+        assert sorted(received) == sorted(expected)
+
+    def test_per_producer_order_preserved(self):
+        kernel = Kernel(costs=FREE)
+        buf = ParallelBuffer(kernel, size=8, copy_work=0)
+        received = pump(kernel, buf, producers=2, consumers=1, per_producer=5)
+        for base in range(2):
+            mine = [i for (b, i) in received if b == base]
+            assert mine == sorted(mine)
+
+    def test_capacity_never_exceeded(self):
+        kernel = Kernel(costs=FREE)
+        buf = ParallelBuffer(kernel, size=2, producer_max=4, consumer_max=4, copy_work=3)
+        received = pump(kernel, buf, producers=4, consumers=4, per_producer=3)
+        assert len(received) == 12
+
+    def test_invalid_size_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            ParallelBuffer(kernel, size=0)
+
+
+class TestParallelism:
+    def test_copies_overlap(self):
+        # The whole point of §2.8.2: long-message copying runs in parallel
+        # on disjoint slots.
+        kernel = Kernel(costs=FREE)
+        buf = ParallelBuffer(
+            kernel, size=8, producer_max=4, consumer_max=4, copy_work=100
+        )
+        pump(kernel, buf, producers=4, consumers=4, per_producer=1)
+        # 4 deposits + 4 removes of 100 ticks each: serial would be 800.
+        assert kernel.clock.now < 400
+
+    def test_beats_serial_buffer_for_long_messages(self):
+        def elapsed(buf_factory):
+            kernel = Kernel(costs=FREE)
+            buf = buf_factory(kernel)
+            received = []
+
+            def producer(base):
+                for i in range(4):
+                    yield buf.deposit((base, i))
+
+            def consumer():
+                for _ in range(4):
+                    received.append((yield buf.remove()))
+
+            def main():
+                yield Par(
+                    *[lambda b=b: producer(b) for b in range(3)],
+                    *[lambda: consumer() for _ in range(3)],
+                )
+
+            kernel.run_process(main)
+            return kernel.clock.now
+
+        serial = elapsed(lambda k: BoundedBuffer(k, size=6, work=50))
+        parallel = elapsed(
+            lambda k: ParallelBuffer(
+                k, size=6, producer_max=3, consumer_max=3, copy_work=50
+            )
+        )
+        assert parallel < serial
+
+    def test_callable_copy_work(self):
+        kernel = Kernel(costs=FREE)
+        buf = ParallelBuffer(
+            kernel, size=4, copy_work=lambda msg: len(str(msg))
+        )
+
+        def main():
+            yield buf.deposit("x" * 30)
+            return (yield buf.remove())
+
+        assert kernel.run_process(main) == "x" * 30
+        assert kernel.stats.work_ticks >= 60  # deposit + remove copies

@@ -1,0 +1,137 @@
+"""Tests for the §2.5.1 readers–writers database."""
+
+import pytest
+
+from repro.kernel import Delay, Kernel, Par
+from repro.kernel.costs import FREE
+from repro.stdlib import Database
+
+
+def run_mixed(kernel, db, readers, writers, stagger=0):
+    results = {}
+
+    def reader(i):
+        yield Delay(i * stagger)
+        results[f"r{i}"] = yield db.read("key")
+
+    def writer(i):
+        yield Delay(i * stagger)
+        yield db.write("key", f"v{i}")
+
+    def main():
+        yield Par(
+            *[lambda i=i: reader(i) for i in range(readers)],
+            *[lambda i=i: writer(i) for i in range(writers)],
+        )
+
+    kernel.run_process(main)
+    return results
+
+
+class TestExclusion:
+    def test_no_violations_under_load(self):
+        kernel = Kernel(costs=FREE)
+        db = Database(kernel, read_max=3, initial={"key": "v"})
+        run_mixed(kernel, db, readers=10, writers=4, stagger=3)
+        assert db.exclusion_violations == 0
+
+    def test_read_max_bounds_concurrency(self):
+        kernel = Kernel(costs=FREE)
+        db = Database(kernel, read_max=3, initial={"key": "v"}, read_work=50)
+        run_mixed(kernel, db, readers=9, writers=0)
+        assert db.max_concurrent_readers <= 3
+
+    def test_readers_actually_overlap(self):
+        kernel = Kernel(costs=FREE)
+        db = Database(kernel, read_max=4, initial={"key": "v"}, read_work=50)
+        run_mixed(kernel, db, readers=4, writers=0)
+        assert db.max_concurrent_readers >= 2
+        # Four 50-tick reads through 4 concurrent slots: well under serial.
+        assert kernel.clock.now < 4 * 50
+
+    def test_writer_excludes_readers(self):
+        kernel = Kernel(costs=FREE)
+        db = Database(kernel, read_max=4, initial={"key": "v"})
+        run_mixed(kernel, db, readers=6, writers=3, stagger=1)
+        assert db.exclusion_violations == 0
+
+
+class TestData:
+    def test_reads_see_initial_value(self):
+        kernel = Kernel(costs=FREE)
+        db = Database(kernel, initial={"key": "original"}, write_work=0)
+        results = run_mixed(kernel, db, readers=3, writers=0)
+        assert all(v == "original" for v in results.values())
+
+    def test_write_then_read_sequential(self, kernel):
+        db = Database(kernel, initial={})
+
+        def main():
+            yield db.write("x", 42)
+            return (yield db.read("x"))
+
+        assert kernel.run_process(main) == 42
+
+    def test_missing_key_reads_none(self, kernel):
+        db = Database(kernel)
+
+        def main():
+            return (yield db.read("ghost"))
+
+        assert kernel.run_process(main) is None
+
+
+class TestStarvationFreedom:
+    def test_writer_not_starved_by_reader_stream(self):
+        # A continuous stream of readers must not starve the writer: the
+        # paper's WriterLast disjunction guarantees a writer turn.
+        kernel = Kernel(costs=FREE)
+        db = Database(kernel, read_max=2, initial={"key": 0}, read_work=10, write_work=10)
+        write_done = {}
+
+        def reader(i):
+            yield Delay(i * 2)  # steady arrival stream
+            yield db.read("key")
+
+        def writer():
+            yield Delay(5)
+            yield db.write("key", 1)
+            write_done["at"] = kernel.clock.now
+
+        def main():
+            yield Par(
+                *[lambda i=i: reader(i) for i in range(30)],
+                lambda: writer(),
+            )
+
+        kernel.run_process(main)
+        # The writer finished well before the full reader stream drained.
+        assert write_done["at"] < kernel.clock.now
+
+    def test_reader_not_starved_by_writer_stream(self):
+        kernel = Kernel(costs=FREE)
+        db = Database(kernel, read_max=2, initial={"key": 0}, read_work=5, write_work=5)
+        read_done = {}
+
+        def writer(i):
+            yield Delay(i)
+            yield db.write("key", i)
+
+        def reader():
+            yield Delay(3)
+            value = yield db.read("key")
+            read_done["at"] = kernel.clock.now
+            return value
+
+        def main():
+            yield Par(
+                *[lambda i=i: writer(i) for i in range(20)],
+                lambda: reader(),
+            )
+
+        kernel.run_process(main)
+        assert read_done["at"] < kernel.clock.now
+
+    def test_invalid_read_max_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            Database(kernel, read_max=0)

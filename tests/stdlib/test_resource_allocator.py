@@ -1,0 +1,109 @@
+"""Tests for the resource allocator (acceptance conditions on params)."""
+
+import pytest
+
+from repro.kernel import Delay, Kernel, Par
+from repro.kernel.costs import FREE
+from repro.stdlib import ResourceAllocator
+
+
+class TestAllocation:
+    def test_acquire_release_roundtrip(self, kernel):
+        alloc = ResourceAllocator(kernel, total=10)
+
+        def main():
+            yield alloc.acquire(4)
+            held = alloc.available
+            yield alloc.release(4)
+            return held
+
+        assert kernel.run_process(main) == 6
+        assert alloc.available == 10
+
+    def test_never_oversubscribed(self):
+        kernel = Kernel(costs=FREE)
+        alloc = ResourceAllocator(kernel, total=5)
+
+        def user(n):
+            yield alloc.acquire(n)
+            yield Delay(10)
+            yield alloc.release(n)
+
+        def main():
+            yield Par(*[lambda n=n: user(n) for n in (3, 3, 3, 2)])
+
+        kernel.run_process(main)
+        assert all(avail >= 0 for _t, avail in alloc.history)
+        assert alloc.available == 5
+
+    def test_small_request_overtakes_large(self):
+        # Acceptance condition reads the parameter: a 5-unit request that
+        # cannot be satisfied does not block a 1-unit request behind it.
+        kernel = Kernel(costs=FREE)
+        alloc = ResourceAllocator(kernel, total=4)
+        order = []
+
+        def holder():
+            yield alloc.acquire(3)  # leaves 1 unit
+            yield Delay(100)
+            yield alloc.release(3)
+
+        def big():
+            yield Delay(5)
+            yield alloc.acquire(4)
+            order.append("big")
+            yield alloc.release(4)
+
+        def small():
+            yield Delay(10)
+            yield alloc.acquire(1)
+            order.append("small")
+            yield alloc.release(1)
+
+        def main():
+            yield Par(lambda: holder(), lambda: big(), lambda: small())
+
+        kernel.run_process(main)
+        assert order == ["small", "big"]
+
+    def test_best_fit_policy(self):
+        kernel = Kernel(costs=FREE)
+        alloc = ResourceAllocator(kernel, total=10, policy="best-fit")
+        order = []
+
+        def requester(n, delay):
+            yield Delay(delay)
+            yield alloc.acquire(n)
+            order.append(n)
+
+        def main():
+            # A holder takes everything, then three requests queue up;
+            # on release the largest satisfiable one is served first.
+            yield alloc.acquire(10)
+            yield Delay(20)  # let 2, 7, 5 queue
+            yield alloc.release(10)
+            yield Delay(50)
+
+        kernel.spawn(requester, 2, 5, daemon=True)
+        kernel.spawn(requester, 7, 6, daemon=True)
+        kernel.spawn(requester, 5, 7, daemon=True)
+        kernel.run_process(main)
+        assert order[0] == 7  # best fit: largest satisfiable first
+
+    def test_validation(self, kernel):
+        with pytest.raises(ValueError):
+            ResourceAllocator(kernel, total=-1)
+        with pytest.raises(ValueError):
+            ResourceAllocator(kernel, policy="magic")
+
+    def test_no_bodies_run(self):
+        kernel = Kernel(costs=FREE)
+        alloc = ResourceAllocator(kernel, total=2)
+
+        def main():
+            yield alloc.acquire(1)
+            yield alloc.release(1)
+
+        kernel.run_process(main)
+        assert kernel.stats.starts == 0
+        assert kernel.stats.calls_combined == 2

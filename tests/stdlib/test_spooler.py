@@ -1,0 +1,86 @@
+"""Tests for the §2.8.1 printer spooler (hidden params/results)."""
+
+import pytest
+
+from repro.kernel import Kernel, Par
+from repro.kernel.costs import FREE
+from repro.stdlib import Spooler
+
+
+class TestSpooler:
+    def test_single_job_prints(self, kernel):
+        spooler = Spooler(kernel, printers=1, speed=2)
+
+        def main():
+            yield spooler.print_file("report.txt")
+
+        kernel.run_process(main)
+        assert spooler.printer_pool[0].jobs == ["report.txt"]
+
+    def test_jobs_spread_across_printers(self):
+        kernel = Kernel(costs=FREE)
+        spooler = Spooler(kernel, printers=3, speed=5)
+
+        def job(i):
+            yield spooler.print_file(f"file-{i}-{'x' * 40}")
+
+        def main():
+            yield Par(*[lambda i=i: job(i) for i in range(6)])
+
+        kernel.run_process(main)
+        used = [p for p in spooler.printer_pool if p.jobs]
+        assert len(used) == 3  # all printers pulled work
+
+    def test_concurrency_bounded_by_printers(self):
+        kernel = Kernel(costs=FREE)
+        spooler = Spooler(kernel, printers=2, speed=10)
+
+        def job(i):
+            yield spooler.print_file(f"f{i}" + "x" * 30)
+
+        def main():
+            yield Par(*[lambda i=i: job(i) for i in range(6)])
+
+        kernel.run_process(main)
+        from repro.core.monitoring import max_overlap
+
+        intervals = []
+        for printer_intervals in spooler.busy_intervals.values():
+            intervals.extend(printer_intervals)
+        # Never more than two overlapping print jobs.
+        assert max_overlap(intervals) <= 2
+
+    def test_printer_reclaimed_via_hidden_result(self):
+        kernel = Kernel(costs=FREE)
+        spooler = Spooler(kernel, printers=1, speed=1)
+
+        def main():
+            # Sequential jobs through one printer: hidden result must free
+            # it each time or the second job deadlocks.
+            yield spooler.print_file("a" * 16)
+            yield spooler.print_file("b" * 16)
+            yield spooler.print_file("c" * 16)
+
+        kernel.run_process(main)
+        assert spooler.printer_pool[0].pages_printed == 6
+
+    def test_every_job_printed_exactly_once(self):
+        kernel = Kernel(costs=FREE)
+        spooler = Spooler(kernel, printers=2, speed=1)
+        files = [f"doc{i}" for i in range(10)]
+
+        def job(name):
+            yield spooler.print_file(name)
+
+        def main():
+            yield Par(*[lambda n=n: job(n) for n in files])
+
+        kernel.run_process(main)
+        printed = []
+        for printer in spooler.printer_pool:
+            printed.extend(printer.jobs)
+        assert sorted(printed) == sorted(files)
+
+    def test_zero_printers_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            Spooler(kernel, printers=0)

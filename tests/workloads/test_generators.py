@@ -1,0 +1,83 @@
+"""Tests for arrival processes and load drivers."""
+
+import pytest
+
+from repro.kernel import Delay, Kernel
+from repro.kernel.costs import FREE
+from repro.workloads import Bursty, Poisson, Uniform, closed_loop, open_loop
+
+
+class TestUniform:
+    def test_fixed_gaps(self):
+        assert Uniform(5).arrivals(4) == [5, 10, 15, 20]
+
+    def test_zero_period(self):
+        assert Uniform(0).arrivals(3) == [0, 0, 0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Uniform(-1)
+
+
+class TestPoisson:
+    def test_deterministic_per_seed(self):
+        assert Poisson(10, seed=4).arrivals(20) == Poisson(10, seed=4).arrivals(20)
+
+    def test_different_seeds_differ(self):
+        assert Poisson(10, seed=1).arrivals(20) != Poisson(10, seed=2).arrivals(20)
+
+    def test_mean_gap_approximate(self):
+        arrivals = Poisson(10, seed=0).arrivals(2000)
+        mean_gap = arrivals[-1] / len(arrivals)
+        assert 8 < mean_gap < 12
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ValueError):
+            Poisson(0)
+
+
+class TestBursty:
+    def test_burst_shape(self):
+        arrivals = Bursty(burst=3, quiet=100).arrivals(6)
+        assert arrivals == [100, 100, 100, 200, 200, 200]
+
+    def test_invalid_burst_rejected(self):
+        with pytest.raises(ValueError):
+            Bursty(burst=0, quiet=10)
+
+
+class TestDrivers:
+    def test_open_loop_spawns_independent_requests(self):
+        kernel = Kernel(costs=FREE)
+        completed = []
+
+        def request(i):
+            yield Delay(50)  # slow service
+            completed.append((i, kernel.clock.now))
+
+        kernel.spawn(open_loop(Uniform(10), 5, request))
+        kernel.run()
+        # Open system: arrivals every 10 ticks even though service is 50.
+        finish_times = [t for _i, t in sorted(completed)]
+        assert finish_times == [60, 70, 80, 90, 100]
+
+    def test_closed_loop_serializes(self):
+        kernel = Kernel(costs=FREE)
+        completed = []
+
+        def request(i):
+            yield Delay(50)
+            completed.append((i, kernel.clock.now))
+
+        kernel.spawn(closed_loop(3, request, think_time=10))
+        kernel.run()
+        finish_times = [t for _i, t in sorted(completed)]
+        assert finish_times == [50, 110, 170]
+
+    def test_closed_loop_plain_syscall_request(self):
+        from repro.kernel import Charge
+
+        kernel = Kernel(costs=FREE)
+        kernel.spawn(closed_loop(3, lambda i: Charge(5)))
+        kernel.run()
+        assert kernel.stats.work_ticks == 15

@@ -1,0 +1,72 @@
+"""Tests for deterministic trace generation and replay."""
+
+import pytest
+
+from repro.kernel import Delay, Kernel
+from repro.kernel.costs import FREE
+from repro.workloads import TraceEntry, mixed_trace, replay
+
+
+class TestMixedTrace:
+    def test_deterministic_per_seed(self):
+        a = mixed_trace({"r": 1, "w": 1}, 50, 5, seed=3)
+        b = mixed_trace({"r": 1, "w": 1}, 50, 5, seed=3)
+        assert a == b
+
+    def test_times_nondecreasing(self):
+        trace = mixed_trace({"r": 1}, 100, 5, seed=0)
+        times = [e.time for e in trace]
+        assert times == sorted(times)
+
+    def test_weights_respected(self):
+        trace = mixed_trace({"r": 9, "w": 1}, 1000, 1, seed=0)
+        reads = sum(1 for e in trace if e.operation == "r")
+        assert reads > 700
+
+    def test_payload_fn(self):
+        trace = mixed_trace(
+            {"op": 1}, 3, 0, payload_fn=lambda i, op: f"{op}-{i}", seed=0
+        )
+        assert [e.payload for e in trace] == ["op-0", "op-1", "op-2"]
+
+    def test_empty_operations_rejected(self):
+        with pytest.raises(ValueError):
+            mixed_trace({}, 5, 1)
+
+
+class TestReplay:
+    def test_entries_fire_at_scripted_times(self):
+        kernel = Kernel(costs=FREE)
+        fired = []
+        trace = [
+            TraceEntry(time=5, operation="op", payload="a"),
+            TraceEntry(time=15, operation="op", payload="b"),
+        ]
+
+        def handler(payload):
+            fired.append((payload, kernel.clock.now))
+            yield Delay(0)
+
+        kernel.spawn(replay(trace, {"op": handler}))
+        kernel.run()
+        assert fired == [("a", 5), ("b", 15)]
+
+    def test_multiple_operation_kinds(self):
+        kernel = Kernel(costs=FREE)
+        log = []
+        trace = [
+            TraceEntry(0, "read", 1),
+            TraceEntry(0, "write", 2),
+        ]
+
+        def read(p):
+            log.append(("read", p))
+            yield Delay(0)
+
+        def write(p):
+            log.append(("write", p))
+            yield Delay(0)
+
+        kernel.spawn(replay(trace, {"read": read, "write": write}))
+        kernel.run()
+        assert sorted(log) == [("read", 1), ("write", 2)]

@@ -15,7 +15,7 @@ from repro.baselines import MonitorBuffer, PathBuffer, SemaphoreBuffer
 from repro.kernel import Kernel
 from repro.stdlib import BoundedBuffer
 
-from harness import print_table
+from harness import print_table, write_results
 
 MESSAGES = 200
 SIZES = (1, 4, 16)
@@ -87,6 +87,10 @@ def test_e1_table(benchmark, capsys):
             rows,
             note="same transfer, four mechanisms, identical kernel",
         )
+    write_results(
+        "e1", rows, seed=0,
+        note=f"{MESSAGES} messages each way, sizes {SIZES}",
+    )
     # The claim's shape: the manager costs a *constant* number of extra
     # rendezvous hops per operation — overhead per op does not grow with
     # buffer size, and stays within an order of magnitude of the leanest

@@ -14,6 +14,9 @@ also be produced without pytest.
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
 from typing import Any, Iterable, Sequence
 
 
@@ -41,6 +44,53 @@ def _fmt(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.2f}"
     return str(value)
+
+
+def write_results(
+    experiment: str,
+    rows: Sequence[dict],
+    seed: int | None = None,
+    note: str = "",
+    out_dir: str | None = None,
+) -> str:
+    """Persist an experiment's table as ``BENCH_<EXPERIMENT>.json``.
+
+    The file records everything needed to reproduce and compare runs:
+    the experiment id, the metric rows exactly as printed, the seed the
+    workload used, and the git revision that produced them.  Returns the
+    path written.  ``REPRO_BENCH_DIR`` overrides the output directory
+    (default: current working directory).
+    """
+    out_dir = out_dir or os.environ.get("REPRO_BENCH_DIR") or "."
+    path = os.path.join(out_dir, f"BENCH_{experiment.upper()}.json")
+    payload = {
+        "experiment": experiment.upper(),
+        "seed": seed,
+        "git_rev": _git_rev(),
+        "note": note,
+        "rows": list(rows),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+        fh.write("\n")
+    return path
+
+
+def _git_rev() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+                capture_output=True,
+                text=True,
+                timeout=5,
+                check=True,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
 
 
 def geometric_mean(values: Iterable[float]) -> float:

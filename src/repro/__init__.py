@@ -15,6 +15,8 @@ Python DSL on a deterministic virtual-time kernel:
   comparisons the paper draws in §1;
 * :mod:`repro.net` — a simulated multi-node network (including the 4×4
   transputer grid of §4) with remote entry calls;
+* :mod:`repro.faults` — deterministic fault injection (crashes, partitions,
+  message loss) with detection and recovery combinators;
 * :mod:`repro.stdlib` — the paper's example objects, ready to use;
 * :mod:`repro.workloads` — arrival processes and popularity distributions
   for the benchmark harness.
@@ -76,10 +78,21 @@ from .errors import (
     DeadlockError,
     GuardExhaustedError,
     InterceptError,
+    NetworkError,
     ObjectModelError,
     ProtocolError,
+    RemoteCallError,
     SelectError,
 )
+from .faults import (
+    ExponentialBackoff,
+    FaultPlan,
+    FixedBackoff,
+    Heartbeat,
+    RetryPolicy,
+    retry,
+)
+from .faults import install as install_faults
 from .kernel import (
     Charge,
     CostModel,
@@ -139,6 +152,14 @@ __all__ = [
     "Combiner",
     "PoolConfig",
     "par_range",
+    # faults
+    "FaultPlan",
+    "install_faults",
+    "retry",
+    "RetryPolicy",
+    "FixedBackoff",
+    "ExponentialBackoff",
+    "Heartbeat",
     # errors
     "AlpsError",
     "DeadlockError",
@@ -149,4 +170,6 @@ __all__ = [
     "ObjectModelError",
     "InterceptError",
     "ProtocolError",
+    "NetworkError",
+    "RemoteCallError",
 ]

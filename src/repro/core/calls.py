@@ -66,11 +66,21 @@ class Call:
         "body_done_at",
         "finished_at",
         "response_delay",
+        "caller_resumed",
+        "timeout",
+        "timeout_cancel",
+        "interrupted",
+        "delivery_epoch",
     )
 
     def __init__(self, obj: Any, spec: "EntrySpec", args: tuple, caller: "Process") -> None:
-        Call._counter += 1
-        self.call_id = Call._counter
+        kernel = getattr(obj, "kernel", None)
+        if kernel is not None:
+            kernel._next_call_id += 1
+            self.call_id = kernel._next_call_id
+        else:
+            Call._counter += 1
+            self.call_id = Call._counter
         self.obj = obj
         self.spec = spec
         #: Invocation parameters (the *definition* parameters only).
@@ -96,6 +106,20 @@ class Call:
         #: Extra network delay to apply when resuming the caller (set by
         #: the RPC layer for remote calls).
         self.response_delay = 0
+        #: True once the caller has been resumed or thrown into — exactly
+        #: once per call, whichever of completion, failure, timeout expiry
+        #: or crash detection happens first wins.
+        self.caller_resumed = False
+        #: Deadline of a timed call (``yield obj.p(args, timeout=n)``).
+        self.timeout: int | None = None
+        #: Cancellation token of the armed timeout event, if any.
+        self.timeout_cancel: dict | None = None
+        #: Set by the fault injector when a node crash interrupted this
+        #: call; a Supervisor may re-queue it (which clears the flag).
+        self.interrupted = False
+        #: Bumped whenever a crash invalidates an in-flight request
+        #: delivery; stale delivery events compare epochs and drop out.
+        self.delivery_epoch = 0
 
     # -- views used by the manager ---------------------------------------
 

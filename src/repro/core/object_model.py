@@ -48,8 +48,8 @@ class BoundEntry:
         self.obj = obj
         self.name = name
 
-    def __call__(self, *args: Any) -> EntryCall:
-        return EntryCall(self.obj, self.name, args)
+    def __call__(self, *args: Any, timeout: int | None = None) -> EntryCall:
+        return EntryCall(self.obj, self.name, args, timeout=timeout)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<entry {self.obj.alps_name}.{self.name}>"
@@ -159,6 +159,11 @@ class AlpsObject(metaclass=AlpsObjectMeta):
         self.alps_name = name or type(self).__name__
         #: Set by the network layer when the object is placed on a node.
         self.node = None
+        #: Set by the fault injector when this object's node crashes;
+        #: cleared by :meth:`restart`.
+        self._crashed = False
+        self._manager_priority = manager_priority
+        self._record_calls = record_calls
         # Initialization code runs first (§2.3: "its initialization code
         # is first executed and then its manager process is implicitly
         # created and started").
@@ -177,18 +182,7 @@ class AlpsObject(metaclass=AlpsObjectMeta):
             self._runtimes[entry_name] = runtime
 
         self.manager_process: Process | None = None
-        manager = self.__alps_manager__
-        if manager is not None:
-            priority = (
-                manager_priority if manager_priority is not None else manager.priority
-            )
-            self.manager_process = kernel.spawn(
-                manager.fn,
-                self,
-                name=f"{self.alps_name}.manager",
-                priority=priority,
-                daemon=True,
-            )
+        self._spawn_manager()
 
     # -- initialization hook ----------------------------------------------
 
@@ -200,6 +194,41 @@ class AlpsObject(metaclass=AlpsObjectMeta):
         """
         for key, value in config.items():
             setattr(self, key, value)
+
+    def _spawn_manager(self) -> None:
+        manager = self.__alps_manager__
+        if manager is None:
+            return
+        priority = (
+            self._manager_priority
+            if self._manager_priority is not None
+            else manager.priority
+        )
+        self.manager_process = self.kernel.spawn(
+            manager.fn,
+            self,
+            name=f"{self.alps_name}.manager",
+            priority=priority,
+            daemon=True,
+        )
+        # Keep the manager attributed to the object's home node so a node
+        # crash takes it down (place() sets this for objects placed later).
+        self.manager_process.node = self.node
+
+    def restart(self) -> None:
+        """Recover a crashed object: reset call state, respawn the manager.
+
+        Every in-flight call is forgotten (the fault injector hands the
+        interrupted ones to a :class:`~repro.stdlib.Supervisor`, which may
+        re-queue them); shared data — ordinary instance attributes — is
+        preserved, modelling stable storage surviving the crash.
+        """
+        for runtime in self._runtimes.values():
+            runtime.reset()
+        self._pool.reset()
+        self._crashed = False
+        if self.manager_process is None or not self.manager_process.alive:
+            self._spawn_manager()
 
     # -- plumbing used by primitives ---------------------------------------
 

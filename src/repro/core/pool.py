@@ -149,6 +149,9 @@ class ServerPool:
             )
             self.kernel.stats.spawns -= 1  # reuse, not a new process
             self.kernel.stats.lwp_spawns -= 1
+        # Server processes live where the object lives; a node crash must
+        # take executing bodies down with it.
+        proc.node = getattr(call.obj, "node", None)
         call.body_process = proc
 
     def release(self, call: "Call") -> None:
@@ -157,6 +160,11 @@ class ServerPool:
         if self._backlog and (self.capacity is None or self._busy < self.capacity):
             job, queued_call = self._backlog.popleft()
             self._run(job, queued_call)
+
+    def reset(self) -> None:
+        """Drop all busy/queued state (crash recovery)."""
+        self._busy = 0
+        self._backlog.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
-from ..errors import CallError, ProtocolError
+from ..errors import CallError, ProtocolError, RemoteCallError
 from ..kernel.process import ProcessState
 from ..kernel.syscalls import Select, Syscall
 from ..kernel.waiting import Guard, Ready, Waitable
@@ -44,15 +44,29 @@ class EntryCall(Syscall):
     — ``yield buffer.deposit(msg)``.  The caller blocks until the call is
     finished (remote-procedure-call semantics); parallelism comes from
     ``par`` (§2.1.1).
+
+    ``timeout`` makes the call *timed*: if no response (or failure) has
+    reached the caller within that many ticks, the caller is resumed with
+    a :class:`~repro.errors.RemoteCallError` instead — the same anchored
+    one-shot deadline semantics as :class:`~repro.kernel.timeouts.Timeout`
+    — and any eventual response for the abandoned call is discarded.
     """
 
-    __slots__ = ("obj", "proc_name", "args", "from_inside")
+    __slots__ = ("obj", "proc_name", "args", "from_inside", "timeout")
 
-    def __init__(self, obj: Any, proc_name: str, args: tuple, from_inside: bool = False) -> None:
+    def __init__(
+        self,
+        obj: Any,
+        proc_name: str,
+        args: tuple,
+        from_inside: bool = False,
+        timeout: int | None = None,
+    ) -> None:
         self.obj = obj
         self.proc_name = proc_name
         self.args = args
         self.from_inside = from_inside
+        self.timeout = timeout
 
     def handle(self, kernel: "Kernel", proc: "Process", cost: int) -> None:
         try:
@@ -73,17 +87,20 @@ class EntryCall(Syscall):
         if len(self.args) != spec.params:
             kernel.schedule_throw(proc, _arity(spec, len(self.args)))
             return
+        if self.timeout is not None and self.timeout < 0:
+            kernel.schedule_throw(
+                proc, CallError(f"call timeout must be >= 0, got {self.timeout}")
+            )
+            return
 
         call = Call(self.obj, spec, tuple(self.args), proc)
         proc.state = ProcessState.BLOCKED
         proc.blocked_on = f"call {self.obj.alps_name}.{self.proc_name}"
         # The caller-perceived issue instant — before any network delay.
         call.issued_at = kernel.clock.now
-
-        # Remote calls (objects placed on another node) acquire network
-        # latency on the request and response paths.
-        request_delay, response_delay = self.obj._call_latency(proc)
-        call.response_delay = response_delay
+        if self.timeout is not None:
+            call.timeout = self.timeout
+            arm_call_timeout(kernel, call)
 
         def deliver() -> None:
             if spec.intercepted:
@@ -93,10 +110,54 @@ class EntryCall(Syscall):
                 # implicitly and made to execute the procedure" (§2.3).
                 runtime.submit_unmanaged(call)
 
+        # When a fault injector is installed it owns routing: crashed
+        # targets, partitions, message loss and jitter all happen there.
+        if kernel.faults is not None:
+            kernel.faults.route_call(call, proc, deliver)
+            return
+
+        # Remote calls (objects placed on another node) acquire network
+        # latency on the request and response paths.
+        request_delay, response_delay = self.obj._call_latency(proc)
+        call.response_delay = response_delay
         if request_delay:
             kernel.post(kernel.clock.now + request_delay, deliver)
         else:
             deliver()
+
+
+def arm_call_timeout(kernel: "Kernel", call: Call) -> None:
+    """Post the expiry event of a timed call (cancelled at first resume)."""
+    assert call.timeout is not None
+    cancel = {"cancelled": False}
+    call.timeout_cancel = cancel
+    deadline = kernel.clock.now + call.timeout
+
+    def expire() -> None:
+        if call.caller_resumed:
+            return
+        call.caller_resumed = True
+        call.state = CallState.FAILED
+        call.finished_at = kernel.clock.now
+        kernel.trace.record(
+            kernel.clock.now,
+            "call_timeout",
+            call.caller.name,
+            entry=call.entry,
+            obj=call.obj.alps_name,
+            after=call.timeout,
+        )
+        kernel.schedule_throw(
+            call.caller,
+            RemoteCallError(
+                f"call to {call.obj.alps_name}.{call.entry} timed out after "
+                f"{call.timeout} ticks",
+                entry=call.entry,
+                obj=call.obj.alps_name,
+            ),
+        )
+
+    kernel.post(deadline, expire, priority=call.caller.priority, cancel=cancel)
 
 
 def _arity(spec: Any, got: int) -> CallError:

@@ -193,6 +193,11 @@ class EntryRuntime:
                 if hasattr(raw, "send") and hasattr(raw, "throw"):
                     raw = yield from raw
                 results = runtime.spec.normalize_results(raw)
+            except GeneratorExit:
+                # The server process was killed (node crash): whoever
+                # killed it owns cleanup and caller notification; the
+                # caller must not receive a GeneratorExit.
+                raise
             except BaseException as exc:
                 # A failing body must not wedge the object: free the slot
                 # and worker, and re-raise the error in the caller.
@@ -236,7 +241,23 @@ class EntryRuntime:
         self.resume_caller(call, call.body_results[: self.spec.returns])
 
     def resume_caller(self, call: Call, results: tuple) -> None:
-        """Deliver ``results`` (definition results only) to the caller."""
+        """Deliver ``results`` (definition results only) to the caller.
+
+        A caller is resumed at most once: if the call already expired (a
+        timed call), or was failed by crash detection, the response is
+        discarded.  With a fault injector installed, the response leg may
+        itself be lost or jittered.
+        """
+        if call.caller_resumed:
+            return
+        faults = self.kernel.faults
+        if faults is not None and faults.drop_response(call):
+            # Response lost in the network; the caller recovers through a
+            # timeout (plus retry), never through a silent double-resume.
+            return
+        call.caller_resumed = True
+        if call.timeout_cancel is not None:
+            call.timeout_cancel["cancelled"] = True
         value: Any
         if self.spec.returns == 0:
             value = None
@@ -258,13 +279,23 @@ class EntryRuntime:
             self.kernel.schedule_resume(call.caller, value)
 
     def fail_caller(self, call: Call, exc: BaseException) -> None:
-        """Propagate a body failure to the caller."""
+        """Propagate a body failure to the caller (at most once)."""
         call.state = CallState.FAILED
+        if call.caller_resumed:
+            return
+        call.caller_resumed = True
+        if call.timeout_cancel is not None:
+            call.timeout_cancel["cancelled"] = True
         self.kernel.schedule_throw(call.caller, exc)
 
     def record(self, call: Call) -> None:
         if self.record_calls:
             self.completed.append(call)
+
+    def reset(self) -> None:
+        """Forget all in-flight calls (crash recovery; see ``AlpsObject.restart``)."""
+        self.slots = [None] * self.array_size
+        self.waiting.clear()
 
     def describe(self) -> str:
         return (

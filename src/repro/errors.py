@@ -78,3 +78,23 @@ class PathExpressionError(AlpsError):
 
 class NetworkError(AlpsError):
     """Misuse of the simulated network (unknown node, no route, ...)."""
+
+
+class RemoteCallError(AlpsError):
+    """A remote entry call failed for a *distributed-systems* reason.
+
+    Raised in the caller when the target node crashed (after the failure
+    detector's delay), when the route to the target is partitioned away,
+    or when a timed call (``yield obj.p(args, timeout=n)``) expires before
+    the response arrives.  Distinct from :class:`CallError` (a programming
+    error that is deterministic and not worth retrying): a
+    ``RemoteCallError`` is the signal the :func:`repro.faults.retry`
+    combinator reacts to.
+    """
+
+    def __init__(self, message: str, entry: str | None = None, obj: str | None = None) -> None:
+        super().__init__(message)
+        #: Name of the entry procedure the failed call targeted, if known.
+        self.entry = entry
+        #: ``alps_name`` of the target object, if known.
+        self.obj = obj

@@ -1,0 +1,108 @@
+"""Failure detection helpers: liveness beacons and a heartbeat monitor.
+
+The kernel-level detector (``FaultPlan.detection_delay``) fails pending
+callers of a crashed node; :class:`Heartbeat` is the complementary
+*application*-level detector — a daemon that periodically pings watched
+objects with timed calls and keeps a verdict per target, so recovery
+logic (or a test) can observe "down" before ever issuing a real call.
+
+Place one :class:`Beacon` per node you want to monitor::
+
+    beacon = net.node("n3").place(Beacon(kernel, name="beacon3"))
+    hb = Heartbeat(kernel, interval=40, timeout=80)
+    hb.watch("n3", beacon)
+    hb.start()
+
+Both detectors are deterministic: pings are ordinary timed entry calls
+on the virtual clock.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..core import AlpsObject, entry
+from ..errors import RemoteCallError
+from ..kernel.syscalls import Delay
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+    from ..kernel.process import Process
+
+
+class Beacon(AlpsObject):
+    """A minimal liveness responder: answers ``ping`` while its node is up."""
+
+    @entry(returns=1)
+    def ping(self):
+        return "ok"
+
+
+class Heartbeat:
+    """Ping watched objects on a period; record up/down transitions.
+
+    Parameters
+    ----------
+    interval:
+        Ticks between monitoring rounds.
+    timeout:
+        Deadline of each ping; a ping that exceeds it (or fails with
+        :class:`~repro.errors.RemoteCallError`) marks the target down.
+    rounds:
+        Stop after this many rounds (``None`` runs forever — note that an
+        unbounded monitor keeps the event queue non-empty, so give a
+        bound or use ``kernel.run(until=...)``).
+    """
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        interval: int = 50,
+        timeout: int = 100,
+        rounds: int | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.interval = interval
+        self.timeout = timeout
+        self.rounds = rounds
+        self.targets: dict[str, Any] = {}
+        #: Latest verdict per target: "unknown" | "up" | "down".
+        self.status: dict[str, str] = {}
+        #: (tick, target, verdict) for every status change.
+        self.transitions: list[tuple[int, str, str]] = []
+        self.process: "Process | None" = None
+
+    def watch(self, name: str, obj: Any) -> None:
+        """Monitor ``obj`` (anything with a ``ping`` entry) as ``name``."""
+        self.targets[name] = obj
+        self.status[name] = "unknown"
+
+    def is_up(self, name: str) -> bool:
+        return self.status.get(name) == "up"
+
+    def start(self) -> "Process":
+        """Spawn the monitor daemon; returns its process."""
+        self.process = self.kernel.spawn(
+            self._monitor, name="heartbeat", daemon=True
+        )
+        return self.process
+
+    def _monitor(self):
+        done = 0
+        while self.rounds is None or done < self.rounds:
+            for name in list(self.targets):
+                obj = self.targets[name]
+                try:
+                    yield obj.ping(timeout=self.timeout)
+                except RemoteCallError:
+                    verdict = "down"
+                else:
+                    verdict = "up"
+                if self.status.get(name) != verdict:
+                    now = self.kernel.clock.now
+                    self.transitions.append((now, name, verdict))
+                    self.status[name] = verdict
+                    self.kernel.stats.bump(f"heartbeat_{verdict}")
+            done += 1
+            if self.rounds is None or done < self.rounds:
+                yield Delay(self.interval)

@@ -1,0 +1,233 @@
+"""Fault schedules: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is a *script* of failures over virtual time plus a
+set of stochastic message-fault rules, all resolved against one seeded
+RNG — so the same seed and the same plan reproduce the same faults at the
+same ticks, and therefore (on our deterministic kernel) the same
+interleaving.  The plan is pure data; :func:`repro.faults.install` turns
+it into live behaviour.
+
+Fault types (the paper's §4 transputer machine, made mortal):
+
+* **node crash / restart** — every process homed on the node dies, objects
+  placed there stop answering, routes through the node disappear;
+* **link down / up** and **partition** — the routed topology loses edges;
+  unreachable destinations fail remote calls and drop messages;
+* **message loss / duplication / delay jitter** — per-message fates for
+  ``NetSend`` messages and remote entry-call request/response legs;
+* **slow CPU** — ``Charge``d work on a degraded node dilates by a factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import NetworkError
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Crash ``node`` at tick ``at``; optionally restart it later."""
+
+    node: str
+    at: int
+    restart_at: int | None = None
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Take the ``a``–``b`` link down at ``at``; optionally bring it back."""
+
+    a: str
+    b: str
+    at: int
+    up_at: int | None = None
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    """Cut every link between the two groups at ``at``; optionally heal."""
+
+    group_a: tuple[str, ...]
+    group_b: tuple[str, ...]
+    at: int
+    heal_at: int | None = None
+
+
+@dataclass(frozen=True)
+class SlowCpu:
+    """Dilate ``Charge``d work on ``node`` by ``factor`` during [at, until)."""
+
+    node: str
+    factor: float
+    at: int
+    until: int | None = None
+
+
+@dataclass(frozen=True)
+class MessageRule:
+    """Stochastic per-message faults, optionally scoped to src/dst nodes.
+
+    ``drop_rate`` and ``duplicate_rate`` are probabilities drawn from the
+    plan's seeded RNG per message; ``jitter`` adds a uniform extra delay in
+    ``[0, jitter]`` ticks to each delivery.  ``src``/``dst`` of ``None``
+    match any node.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    jitter: int = 0
+    src: str | None = None
+    dst: str | None = None
+
+    def matches(self, src: str, dst: str) -> bool:
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+
+class FaultPlan:
+    """A deterministic, scriptable schedule of faults.
+
+    Parameters
+    ----------
+    seed:
+        Seed for every probabilistic decision (message fates, jitter).
+        Same seed + same plan ⇒ same faults ⇒ same interleaving.
+    detection_delay:
+        Virtual ticks between a node crash and the instant pending callers
+        are failed with :class:`~repro.errors.RemoteCallError` — the
+        failure detector's suspicion time.
+    """
+
+    def __init__(self, seed: int = 0, detection_delay: int = 50) -> None:
+        if detection_delay < 0:
+            raise NetworkError(
+                f"detection_delay must be >= 0, got {detection_delay}"
+            )
+        self.seed = seed
+        self.detection_delay = detection_delay
+        self.crashes: list[NodeCrash] = []
+        self.link_faults: list[LinkFault] = []
+        self.partitions: list[PartitionFault] = []
+        self.slow_cpus: list[SlowCpu] = []
+        self.message_rules: list[MessageRule] = []
+
+    # -- builders (each returns self for chaining) -----------------------
+
+    def crash_node(self, node: str, at: int, restart_at: int | None = None) -> "FaultPlan":
+        """Crash ``node`` at tick ``at``; optionally restart at ``restart_at``."""
+        self._check_window(at, restart_at, "restart_at")
+        self.crashes.append(NodeCrash(node, at, restart_at))
+        return self
+
+    def link_down(self, a: str, b: str, at: int, up_at: int | None = None) -> "FaultPlan":
+        """Down the ``a``–``b`` link at ``at``; optionally restore at ``up_at``."""
+        self._check_window(at, up_at, "up_at")
+        self.link_faults.append(LinkFault(a, b, at, up_at))
+        return self
+
+    def partition(
+        self,
+        group_a: list[str] | tuple[str, ...],
+        group_b: list[str] | tuple[str, ...],
+        at: int,
+        heal_at: int | None = None,
+    ) -> "FaultPlan":
+        """Split the network into two groups at ``at``; optionally heal."""
+        self._check_window(at, heal_at, "heal_at")
+        overlap = set(group_a) & set(group_b)
+        if overlap:
+            raise NetworkError(f"partition groups overlap: {sorted(overlap)}")
+        self.partitions.append(
+            PartitionFault(tuple(group_a), tuple(group_b), at, heal_at)
+        )
+        return self
+
+    def slow_cpu(
+        self, node: str, factor: float, at: int = 0, until: int | None = None
+    ) -> "FaultPlan":
+        """Dilate work on ``node`` by ``factor`` (>= 1) during [at, until)."""
+        if factor < 1:
+            raise NetworkError(f"slow_cpu factor must be >= 1, got {factor}")
+        self._check_window(at, until, "until")
+        self.slow_cpus.append(SlowCpu(node, factor, at, until))
+        return self
+
+    def drop_messages(
+        self, rate: float, src: str | None = None, dst: str | None = None
+    ) -> "FaultPlan":
+        """Drop each matching message with probability ``rate``."""
+        self._check_rate(rate)
+        self.message_rules.append(MessageRule(drop_rate=rate, src=src, dst=dst))
+        return self
+
+    def duplicate_messages(
+        self, rate: float, src: str | None = None, dst: str | None = None
+    ) -> "FaultPlan":
+        """Deliver each matching message twice with probability ``rate``."""
+        self._check_rate(rate)
+        self.message_rules.append(MessageRule(duplicate_rate=rate, src=src, dst=dst))
+        return self
+
+    def delay_jitter(
+        self, jitter: int, src: str | None = None, dst: str | None = None
+    ) -> "FaultPlan":
+        """Add uniform extra delay in [0, jitter] to each matching delivery."""
+        if jitter < 0:
+            raise NetworkError(f"jitter must be >= 0, got {jitter}")
+        self.message_rules.append(MessageRule(jitter=jitter, src=src, dst=dst))
+        return self
+
+    # -- validation helpers ----------------------------------------------
+
+    @staticmethod
+    def _check_window(at: int, end: int | None, label: str) -> None:
+        if at < 0:
+            raise NetworkError(f"fault time must be >= 0, got {at}")
+        if end is not None and end <= at:
+            raise NetworkError(f"{label} ({end}) must be after at ({at})")
+
+    @staticmethod
+    def _check_rate(rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise NetworkError(f"rate must be in [0, 1], got {rate}")
+
+    # -- queries ----------------------------------------------------------
+
+    def rules_for(self, src: str, dst: str) -> list[MessageRule]:
+        """Message rules applying to a ``src`` → ``dst`` message, in order."""
+        return [rule for rule in self.message_rules if rule.matches(src, dst)]
+
+    def describe(self) -> str:
+        """One line per scheduled fault, for logs and docs."""
+        lines = []
+        for c in self.crashes:
+            lines.append(
+                f"crash {c.node} @ {c.at}"
+                + (f" restart @ {c.restart_at}" if c.restart_at is not None else "")
+            )
+        for l in self.link_faults:
+            lines.append(
+                f"link {l.a}--{l.b} down @ {l.at}"
+                + (f" up @ {l.up_at}" if l.up_at is not None else "")
+            )
+        for p in self.partitions:
+            lines.append(
+                f"partition {list(p.group_a)} | {list(p.group_b)} @ {p.at}"
+                + (f" heal @ {p.heal_at}" if p.heal_at is not None else "")
+            )
+        for s in self.slow_cpus:
+            lines.append(
+                f"slow-cpu {s.node} x{s.factor} @ {s.at}"
+                + (f" until {s.until}" if s.until is not None else "")
+            )
+        for r in self.message_rules:
+            scope = f"{r.src or '*'}->{r.dst or '*'}"
+            if r.drop_rate:
+                lines.append(f"drop {r.drop_rate:.0%} {scope}")
+            if r.duplicate_rate:
+                lines.append(f"duplicate {r.duplicate_rate:.0%} {scope}")
+            if r.jitter:
+                lines.append(f"jitter <= {r.jitter} {scope}")
+        return "\n".join(lines) if lines else "(no faults)"

@@ -1,0 +1,125 @@
+"""Recovery combinators: retry a failed remote call with backoff.
+
+Use from inside any process generator::
+
+    result = yield from retry(
+        lambda: store.get("k", timeout=60),
+        ExponentialBackoff(base=20, max_attempts=5, jitter=10),
+    )
+
+Each attempt issues a *fresh* call (the factory is re-invoked), so timed
+calls re-arm their deadline.  Only :class:`~repro.errors.RemoteCallError`
+— timeouts, crash detection, partitions — triggers a retry; programming
+errors propagate immediately.  Backoff delays are deterministic: jitter
+draws from a ``random.Random(seed)`` owned by the combinator, so the same
+seed replays the same schedule.
+
+Semantics are at-least-once: a retry after a *response* loss re-executes
+a body that already ran.  Entries retried this way should be idempotent
+(or deduplicate by request id), exactly as with real RPC systems.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from ..errors import RemoteCallError
+from ..kernel.syscalls import Delay, Self
+
+
+class RetryPolicy:
+    """Base class: a policy yields the delay before each re-attempt."""
+
+    #: Total attempts (the first call plus the retries).
+    max_attempts: int = 1
+
+    def delays(self, rng: random.Random) -> Iterator[int]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class FixedBackoff(RetryPolicy):
+    """Wait a constant ``delay`` between attempts."""
+
+    delay: int = 10
+    max_attempts: int = 3
+
+    def delays(self, rng: random.Random) -> Iterator[int]:
+        for _ in range(self.max_attempts - 1):
+            yield self.delay
+
+    def describe(self) -> str:
+        return f"fixed({self.delay}x{self.max_attempts})"
+
+
+@dataclass(frozen=True)
+class ExponentialBackoff(RetryPolicy):
+    """Delays grow by ``factor`` each attempt, plus uniform jitter.
+
+    The k-th backoff is ``min(base * factor**k, max_delay) + U[0, jitter]``
+    (jitter drawn from the combinator's seeded RNG — deterministic, but
+    decorrelating concurrent retriers that use different seeds).
+    """
+
+    base: int = 10
+    factor: float = 2.0
+    max_delay: int | None = None
+    max_attempts: int = 5
+    jitter: int = 0
+
+    def delays(self, rng: random.Random) -> Iterator[int]:
+        current = float(self.base)
+        for _ in range(self.max_attempts - 1):
+            delay = int(current)
+            if self.max_delay is not None:
+                delay = min(delay, self.max_delay)
+            if self.jitter:
+                delay += rng.randint(0, self.jitter)
+            yield delay
+            current *= self.factor
+
+    def describe(self) -> str:
+        return f"expo({self.base}*{self.factor}^k x{self.max_attempts})"
+
+
+def retry(call_factory: Callable[[], Any], policy: RetryPolicy, seed: int = 0):
+    """``yield from`` helper: run the call, retrying per ``policy``.
+
+    ``call_factory`` builds a fresh :class:`~repro.core.primitives.EntryCall`
+    per attempt (give the call a ``timeout`` so lost requests are
+    detected).  Returns the first successful result; raises the last
+    :class:`~repro.errors.RemoteCallError` when attempts are exhausted.
+    """
+    rng = random.Random(seed)
+    schedule = policy.delays(rng)
+    proc = yield Self()
+    attempt = 1
+    while True:
+        call = call_factory()
+        kernel = call.obj.kernel
+        try:
+            result = yield call
+        except RemoteCallError as exc:
+            try:
+                backoff = next(schedule)
+            except StopIteration:
+                kernel.stats.bump("retry_exhausted")
+                raise exc from None
+            kernel.stats.bump("retries")
+            kernel.trace.record(
+                kernel.clock.now, "retry", proc.name,
+                entry=call.proc_name, obj=call.obj.alps_name,
+                attempt=attempt, backoff=backoff,
+            )
+            attempt += 1
+            if backoff:
+                yield Delay(backoff)
+            continue
+        if attempt > 1:
+            kernel.stats.bump("retried_successes")
+        return result

@@ -1,0 +1,609 @@
+"""The fault-injection engine: a :class:`FaultPlan` made live.
+
+:func:`install` hooks a :class:`FaultRuntime` into the kernel and the
+network.  From then on the runtime owns every cross-node interaction:
+
+* **entry calls** — ``EntryCall.handle`` delegates to :meth:`route_call`,
+  which applies crash detection, partitions, request loss and jitter; the
+  response leg passes through :meth:`drop_response` from
+  ``EntryRuntime.resume_caller``;
+* **messages** — ``NetSend`` asks :meth:`message_fates` for the delivery
+  schedule of each remote message (zero, one or two deliveries);
+* **work** — ``Charge`` asks :meth:`scale_work` to dilate ticks on
+  degraded nodes;
+* **routing** — the network's Dijkstra cache keys on :attr:`epoch`, which
+  bumps on every topology transition, and routes over
+  :meth:`filter_links`.
+
+Determinism: all transitions are scheduled through ``kernel.post`` at
+plan-specified virtual ticks, and every probabilistic decision draws from
+one ``random.Random(plan.seed)`` in event order — so the same seed and
+plan reproduce the same faults, and (on the deterministic kernel) the
+same interleaving.
+
+Crash semantics: every process homed on a crashed node is killed.  Calls
+interrupted mid-flight are *captured*; for an object registered with
+:meth:`supervise` they are held for a Supervisor to :meth:`requeue` after
+restart, otherwise each caller is failed with
+:class:`~repro.errors.RemoteCallError` once the failure detector's
+``detection_delay`` elapses.  A caller therefore always unblocks — with
+results, an error, or a re-queued retry — except when a *request* is
+silently lost and the call carries no ``timeout``; the kernel then
+reports the hang honestly as a ``DeadlockError`` at quiescence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from ..core.calls import Call, CallState
+from ..errors import NetworkError, RemoteCallError
+from ..kernel.syscalls import Select
+from ..kernel.waiting import Guard, Ready, Waitable
+from .plan import FaultPlan, NodeCrash, PartitionFault
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+    from ..kernel.process import Process
+    from ..net.network import Network, Node
+
+
+class FaultEventGuard(Guard):
+    """Ready when the fault runtime logged transitions beyond ``seen``.
+
+    Used by supervisors to sleep until a crash or restart happens instead
+    of polling (which would keep the event queue non-empty forever).
+    """
+
+    def __init__(self, faults: "FaultRuntime", seen: int) -> None:
+        self.faults = faults
+        self.seen = seen
+
+    def poll(self, kernel: "Kernel") -> Ready | None:
+        count = self.faults.event_count
+        return Ready(count) if count > self.seen else None
+
+    def commit(self, kernel: "Kernel", proc: "Process", ready: Ready) -> int:
+        return ready.value
+
+    def waitables(self) -> Iterable[Waitable]:
+        return (self.faults.events,)
+
+    def describe(self) -> str:
+        return f"fault-events(>{self.seen})"
+
+
+class FaultRuntime:
+    """Live fault state; installed as ``kernel.faults`` / ``network.faults``."""
+
+    def __init__(self, kernel: "Kernel", network: "Network", plan: FaultPlan) -> None:
+        self.kernel = kernel
+        self.network = network
+        self.plan = plan
+        #: One RNG for every probabilistic fate, drawn in event order.
+        self.rng = random.Random(plan.seed)
+        #: Bumped on every topology transition; the network's route cache
+        #: keys on it.
+        self.epoch = 0
+        #: Monotone count of crash/restart/link/partition transitions, and
+        #: the waitable supervisors block on to observe them.
+        self.event_count = 0
+        self.events = Waitable()
+        self._down_nodes: set[str] = set()
+        self._down_links: set[tuple[str, str]] = set()
+        self._partition_cuts: dict[PartitionFault, frozenset] = {}
+        #: Remote calls issued to placed objects, scanned on crash to
+        #: capture in-flight work (pruned lazily).
+        self._inflight: list[Call] = []
+        #: Objects whose interrupted calls a Supervisor will re-queue.
+        self._supervised: set[Any] = set()
+        self._interrupted: dict[Any, list[Call]] = {}
+
+    # ------------------------------------------------------------------
+    # Scheduling the plan
+    # ------------------------------------------------------------------
+
+    def _schedule(self) -> None:
+        """Validate node names and post every scripted transition."""
+        net = self.network
+        for crash in self.plan.crashes:
+            net.node(crash.node)
+        for link in self.plan.link_faults:
+            net.node(link.a), net.node(link.b)
+        for part in self.plan.partitions:
+            for name in part.group_a + part.group_b:
+                net.node(name)
+        for slow in self.plan.slow_cpus:
+            net.node(slow.node)
+
+        now = self.kernel.clock.now
+        post = self.kernel.post
+        for crash in self.plan.crashes:
+            post(max(now, crash.at), lambda c=crash: self._crash_node(c))
+            if crash.restart_at is not None:
+                post(max(now, crash.restart_at), lambda c=crash: self._restart_node(c))
+        for link in self.plan.link_faults:
+            post(max(now, link.at), lambda l=link: self._set_link(l.a, l.b, down=True))
+            if link.up_at is not None:
+                post(max(now, link.up_at), lambda l=link: self._set_link(l.a, l.b, down=False))
+        for part in self.plan.partitions:
+            post(max(now, part.at), lambda p=part: self._set_partition(p, active=True))
+            if part.heal_at is not None:
+                post(max(now, part.heal_at), lambda p=part: self._set_partition(p, active=False))
+
+    def _bump_events(self) -> None:
+        self.event_count += 1
+        self.kernel.notify(self.events)
+
+    def wait_for_events(self, seen: int) -> Select:
+        """A blocking select that fires once transitions exceed ``seen``."""
+        select = Select(FaultEventGuard(self, seen))
+        select.unwrap = True
+        return select
+
+    # ------------------------------------------------------------------
+    # Topology state
+    # ------------------------------------------------------------------
+
+    def node_up(self, name: str) -> bool:
+        return name not in self._down_nodes
+
+    def _cut(self, a: str, b: str) -> bool:
+        pair = (a, b) if a <= b else (b, a)
+        if pair in self._down_links:
+            return True
+        return any(pair in cuts for cuts in self._partition_cuts.values())
+
+    def filter_links(self, links: dict[str, dict[str, int]]) -> dict[str, dict[str, int]]:
+        """The routable topology: links minus downed nodes/links/cuts."""
+        out: dict[str, dict[str, int]] = {}
+        for a, nbrs in links.items():
+            if a in self._down_nodes:
+                out[a] = {}
+                continue
+            out[a] = {
+                b: w
+                for b, w in nbrs.items()
+                if b not in self._down_nodes and not self._cut(a, b)
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+
+    def _crash_node(self, fault: NodeCrash) -> None:
+        name = fault.node
+        if name in self._down_nodes:
+            return
+        kernel = self.kernel
+        node = self.network.node(name)
+        self._down_nodes.add(name)
+        self.epoch += 1
+        killed = 0
+        for proc in kernel.processes():
+            if proc.alive and getattr(proc, "node", None) is node:
+                kernel.kill_process(proc)
+                killed += 1
+        kernel.trace.record(
+            kernel.clock.now, "crash", name, killed=killed, restart_at=fault.restart_at
+        )
+        kernel.stats.bump("node_crashes")
+        for obj in list(node.objects.values()):
+            if hasattr(obj, "_runtimes"):
+                self._crash_object(obj, node)
+        self._bump_events()
+
+    def _restart_node(self, fault: NodeCrash) -> None:
+        if fault.node not in self._down_nodes:
+            return
+        self._down_nodes.discard(fault.node)
+        self.epoch += 1
+        self.kernel.trace.record(self.kernel.clock.now, "restart", fault.node)
+        self.kernel.stats.bump("node_restarts")
+        # Placed objects stay crashed until something (a Supervisor, or
+        # the test harness) calls obj.restart().
+        self._bump_events()
+
+    def _set_link(self, a: str, b: str, down: bool) -> None:
+        pair = (a, b) if a <= b else (b, a)
+        if down:
+            self._down_links.add(pair)
+        else:
+            self._down_links.discard(pair)
+        self.epoch += 1
+        self.kernel.trace.record(
+            self.kernel.clock.now, "link", f"{pair[0]}--{pair[1]}", down=down
+        )
+        self._bump_events()
+
+    def _set_partition(self, fault: PartitionFault, active: bool) -> None:
+        if active:
+            cuts = frozenset(
+                (a, b) if a <= b else (b, a)
+                for a in fault.group_a
+                for b in fault.group_b
+            )
+            self._partition_cuts[fault] = cuts
+        else:
+            self._partition_cuts.pop(fault, None)
+        self.epoch += 1
+        self.kernel.trace.record(
+            self.kernel.clock.now,
+            "partition",
+            self.network.name,
+            groups=[list(fault.group_a), list(fault.group_b)],
+            healed=not active,
+        )
+        self._bump_events()
+
+    def _crash_object(self, obj: Any, node: "Node") -> None:
+        """Take a placed object down, capturing its interrupted calls."""
+        kernel = self.kernel
+        obj._crashed = True
+        manager = obj.manager_process
+        if manager is not None and manager.alive:
+            kernel.kill_process(manager)
+
+        records: list[Call] = []
+        seen: set[int] = set()
+
+        def capture(call: Call | None) -> None:
+            if call is None or call.call_id in seen:
+                return
+            seen.add(call.call_id)
+            if call.body_process is not None and call.body_process.alive:
+                kernel.kill_process(call.body_process)
+            # Stale in-flight deliveries must not land on the restarted
+            # object (the Supervisor owns redelivery).
+            call.delivery_epoch += 1
+            if call.caller_resumed or not call.caller.alive:
+                return
+            if getattr(call.caller, "node", None) is node:
+                return  # the caller died in the same crash
+            call.interrupted = True
+            records.append(call)
+
+        for runtime in obj._runtimes.values():
+            for call in list(runtime.slots):
+                capture(call)
+            for call in list(runtime.waiting):
+                capture(call)
+            runtime.reset()
+        for _job, call in list(obj._pool._backlog):
+            capture(call)
+        obj._pool.reset()
+        for call in list(self._inflight):
+            if call.obj is obj:
+                capture(call)
+                self._inflight.remove(call)
+
+        if obj in self._supervised:
+            self._interrupted.setdefault(obj, []).extend(records)
+        else:
+            for call in records:
+                self._fail_later(
+                    call,
+                    f"call to {obj.alps_name}.{call.entry} interrupted by "
+                    f"crash of node {node.name}",
+                    self.plan.detection_delay,
+                )
+
+    # ------------------------------------------------------------------
+    # Entry-call routing
+    # ------------------------------------------------------------------
+
+    def route_call(self, call: Call, caller: "Process", deliver: Callable[[], None]) -> None:
+        """Deliver (or lose, or fail) a freshly issued entry call."""
+        kernel = self.kernel
+        obj = call.obj
+        node = getattr(obj, "node", None)
+        src = getattr(caller, "node", None)
+
+        if getattr(obj, "_crashed", False) or (
+            node is not None and not self.node_up(node.name)
+        ):
+            kernel.stats.bump("calls_to_down_target")
+            self._fail_later(
+                call,
+                f"{obj.alps_name} is down"
+                + (f" (node {node.name})" if node is not None else ""),
+                self.plan.detection_delay,
+            )
+            return
+        if node is None:
+            deliver()  # unplaced objects live outside the failure model
+            return
+        self._track(call)
+        if src is None or src is node:
+            deliver()  # co-located: no network between caller and object
+            return
+
+        latency = self.network.latency_or_none(src, node)
+        now = kernel.clock.now
+        if latency is None:
+            kernel.trace.record(
+                now, "drop", caller.name,
+                leg="request", entry=call.entry, obj=obj.alps_name, reason="no route",
+            )
+            self._fail_later(
+                call,
+                f"no route from {src.name} to {node.name} for call to "
+                f"{obj.alps_name}.{call.entry}",
+                self.plan.detection_delay,
+            )
+            return
+        dropped, _dup, jitter = self._fate(src.name, node.name, allow_duplicate=False)
+        if dropped:
+            kernel.stats.bump("dropped_requests")
+            kernel.trace.record(
+                now, "drop", caller.name,
+                leg="request", entry=call.entry, obj=obj.alps_name, reason="loss",
+            )
+            return  # the caller recovers through its timeout (and retry)
+        call.response_delay = latency
+        fire = self._guarded(call, deliver)
+        when = now + latency + jitter()
+        if when > now:
+            kernel.post(when, fire)
+        else:
+            fire()
+
+    def _guarded(self, call: Call, deliver: Callable[[], None]) -> Callable[[], None]:
+        """Wrap a delivery so crashes between issue and arrival void it."""
+        epoch = call.delivery_epoch
+
+        def fire() -> None:
+            if call.caller_resumed or call.delivery_epoch != epoch:
+                return
+            obj = call.obj
+            node = getattr(obj, "node", None)
+            if getattr(obj, "_crashed", False) or (
+                node is not None and not self.node_up(node.name)
+            ):
+                self.kernel.trace.record(
+                    self.kernel.clock.now, "drop", call.caller.name,
+                    leg="request", entry=call.entry, obj=obj.alps_name,
+                    reason="target down",
+                )
+                return
+            deliver()
+
+        return fire
+
+    def _track(self, call: Call) -> None:
+        if len(self._inflight) > 64:
+            self._inflight = [
+                c
+                for c in self._inflight
+                if not c.caller_resumed
+                and c.state not in (CallState.DONE, CallState.FAILED)
+            ]
+        self._inflight.append(call)
+
+    def drop_response(self, call: Call) -> bool:
+        """Decide the response leg's fate; True means the response is lost.
+
+        Also refreshes ``call.response_delay`` against the current
+        topology (a route may have lengthened since the request).
+        """
+        obj = call.obj
+        node = getattr(obj, "node", None)
+        dst = getattr(call.caller, "node", None)
+        if node is None or dst is None or node is dst:
+            return False
+        if not self.node_up(dst.name):
+            return False  # the caller died with its node; resume is a no-op
+        kernel = self.kernel
+        latency = self.network.latency_or_none(node, dst)
+        if latency is None:
+            kernel.stats.bump("dropped_responses")
+            kernel.trace.record(
+                kernel.clock.now, "drop", call.caller.name,
+                leg="response", entry=call.entry, obj=obj.alps_name, reason="no route",
+            )
+            return True
+        dropped, _dup, jitter = self._fate(node.name, dst.name, allow_duplicate=False)
+        if dropped:
+            kernel.stats.bump("dropped_responses")
+            kernel.trace.record(
+                kernel.clock.now, "drop", call.caller.name,
+                leg="response", entry=call.entry, obj=obj.alps_name, reason="loss",
+            )
+            return True
+        call.response_delay = latency + jitter()
+        return False
+
+    def _fail_later(self, call: Call, reason: str, delay: int) -> None:
+        kernel = self.kernel
+        kernel.post(
+            kernel.clock.now + delay,
+            lambda: self._fail_call(call, reason),
+            priority=call.caller.priority,
+        )
+
+    def _fail_call(self, call: Call, reason: str) -> None:
+        if call.caller_resumed:
+            return
+        call.caller_resumed = True
+        call.state = CallState.FAILED
+        call.finished_at = self.kernel.clock.now
+        if call.timeout_cancel is not None:
+            call.timeout_cancel["cancelled"] = True
+        self.kernel.stats.bump("failed_calls")
+        self.kernel.schedule_throw(
+            call.caller,
+            RemoteCallError(reason, entry=call.entry, obj=call.obj.alps_name),
+        )
+
+    # ------------------------------------------------------------------
+    # Message and work fates
+    # ------------------------------------------------------------------
+
+    def _fate(self, src: str, dst: str, allow_duplicate: bool):
+        """Draw this message's fate from the seeded RNG, in rule order."""
+        dropped = False
+        duplicated = False
+        jitter_bound = 0
+        for rule in self.plan.rules_for(src, dst):
+            if rule.drop_rate and self.rng.random() < rule.drop_rate:
+                dropped = True
+            if (
+                allow_duplicate
+                and rule.duplicate_rate
+                and self.rng.random() < rule.duplicate_rate
+            ):
+                duplicated = True
+            jitter_bound = max(jitter_bound, rule.jitter)
+
+        def jitter() -> int:
+            return self.rng.randint(0, jitter_bound) if jitter_bound else 0
+
+        return dropped, duplicated, jitter
+
+    def message_fates(
+        self, proc: "Process", src: "Node", dst: "Node", size: int = 1
+    ) -> list[int]:
+        """Delivery delays for one ``NetSend`` message ([] means lost)."""
+        kernel = self.kernel
+
+        def drop(reason: str) -> list[int]:
+            kernel.stats.bump("dropped_messages")
+            kernel.trace.record(
+                kernel.clock.now, "drop", proc.name,
+                leg="message", src=src.name, dst=dst.name, reason=reason,
+            )
+            return []
+
+        if not self.node_up(dst.name) or not self.node_up(src.name):
+            return drop("node down")
+        latency = self.network.latency_or_none(src, dst, size=size)
+        if latency is None:
+            return drop("no route")
+        dropped, duplicated, jitter = self._fate(src.name, dst.name, allow_duplicate=True)
+        if dropped:
+            return drop("loss")
+        fates = [latency + jitter()]
+        if duplicated:
+            kernel.stats.bump("duplicated_messages")
+            fates.append(latency + jitter())
+        return fates
+
+    def scale_work(self, proc: "Process", ticks: int) -> int:
+        """Dilate ``Charge``d work on a degraded node."""
+        if not self.plan.slow_cpus:
+            return ticks
+        node = getattr(proc, "node", None)
+        if node is None:
+            return ticks
+        now = self.kernel.clock.now
+        factor = 1.0
+        for slow in self.plan.slow_cpus:
+            if (
+                slow.node == node.name
+                and slow.at <= now
+                and (slow.until is None or now < slow.until)
+            ):
+                factor = max(factor, slow.factor)
+        return ticks if factor == 1.0 else int(round(ticks * factor))
+
+    # ------------------------------------------------------------------
+    # Recovery (used by repro.stdlib.Supervisor)
+    # ------------------------------------------------------------------
+
+    def supervise(self, obj: Any) -> Any:
+        """Hold ``obj``'s interrupted calls for re-queueing after restart."""
+        self._supervised.add(obj)
+        return obj
+
+    def take_interrupted(self, obj: Any) -> list[Call]:
+        """Remove and return the calls a crash interrupted on ``obj``."""
+        return self._interrupted.pop(obj, [])
+
+    def requeue(self, call: Call) -> bool:
+        """Re-submit an interrupted call to its (restarted) object.
+
+        Returns True when the call was re-queued.  The caller never
+        notices the crash: it is still blocked on the original invocation
+        and will be resumed by the re-executed call (at-least-once
+        semantics — the body may run twice if the crash hit after
+        execution but before the response).
+        """
+        kernel = self.kernel
+        caller = call.caller
+        if call.caller_resumed or not caller.alive or not call.interrupted:
+            return False
+        obj = call.obj
+        node = getattr(obj, "node", None)
+        if getattr(obj, "_crashed", False) or (
+            node is not None and not self.node_up(node.name)
+        ):
+            # Crashed again before we could re-queue: hold the call for
+            # the next recovery round.
+            self._interrupted.setdefault(obj, []).append(call)
+            return False
+
+        call.interrupted = False
+        call.delivery_epoch += 1
+        call.state = CallState.PENDING
+        call.slot = None
+        call.hidden_args = ()
+        call.body_results = None
+        call.body_process = None
+        call.combined = False
+        runtime = obj._entry_runtime(call.entry)
+        if call.spec.intercepted:
+            deliver: Callable[[], None] = lambda: runtime.submit(call)
+        else:
+            deliver = lambda: runtime.submit_unmanaged(call)
+
+        src = getattr(caller, "node", None)
+        request = 0
+        call.response_delay = 0
+        if node is not None and src is not None and src is not node:
+            latency = self.network.latency_or_none(src, node)
+            if latency is None:
+                self._fail_call(
+                    call,
+                    f"no route from {src.name} to {node.name} to re-queue "
+                    f"call to {obj.alps_name}.{call.entry}",
+                )
+                return False
+            request = latency
+            call.response_delay = latency
+        kernel.stats.bump("requeued_calls")
+        kernel.trace.record(
+            kernel.clock.now, "retry", caller.name,
+            entry=call.entry, obj=obj.alps_name, requeued=True,
+        )
+        if node is not None:
+            self._track(call)
+        fire = self._guarded(call, deliver)
+        if request:
+            kernel.post(kernel.clock.now + request, fire)
+        else:
+            fire()
+        return True
+
+    def describe(self) -> str:
+        return (
+            f"faults(epoch={self.epoch} down_nodes={sorted(self._down_nodes)} "
+            f"down_links={sorted(self._down_links)} "
+            f"partitions={len(self._partition_cuts)})"
+        )
+
+
+def install(kernel: "Kernel", network: "Network", plan: FaultPlan) -> FaultRuntime:
+    """Hook ``plan`` into ``kernel`` and ``network``; returns the runtime.
+
+    Must be called before the run starts (transitions are posted at their
+    scripted ticks).  Only one plan per kernel.
+    """
+    if kernel.faults is not None:
+        raise NetworkError("a fault plan is already installed on this kernel")
+    runtime = FaultRuntime(kernel, network, plan)
+    kernel.faults = runtime
+    network.faults = runtime
+    runtime._schedule()
+    return runtime

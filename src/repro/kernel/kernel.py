@@ -119,10 +119,18 @@ class Kernel:
         self.arbitration = arbitration
         self.trace = Trace(enabled=trace)
         self.stats = KernelStats()
+        #: Fault-injection engine, if one is installed
+        #: (:func:`repro.faults.install`).  ``None`` means the substrate is
+        #: perfect: no crashes, no loss, no degradation.
+        self.faults: Any = None
 
         self._events: list[tuple[int, int, int, Any]] = []  # (time, prio, seq, item)
         self._seq = 0
         self._next_pid = 1
+        #: Per-kernel entry-call ids (a process-global counter would leak
+        #: across kernels and make otherwise identical runs diverge in
+        #: trace/process names).
+        self._next_call_id = 0
         self._processes: dict[int, Process] = {}
         self._pending_selects: dict[int, _PendingSelect] = {}
         self._last_stepped: Process | None = None
@@ -429,8 +437,12 @@ class Kernel:
             if syscall.ticks < 0:
                 self.schedule_throw(proc, KernelError("Charge ticks must be >= 0"))
                 return
-            self.stats.work_ticks += syscall.ticks
-            self.schedule_resume(proc, None, cost=cost + syscall.ticks)
+            ticks = syscall.ticks
+            if self.faults is not None:
+                # Slow-CPU degradation: work on a degraded node dilates.
+                ticks = self.faults.scale_work(proc, ticks)
+            self.stats.work_ticks += ticks
+            self.schedule_resume(proc, None, cost=cost + ticks)
         elif isinstance(syscall, Select):
             self._do_select(proc, syscall, cost)
         elif isinstance(syscall, Par):
@@ -442,14 +454,7 @@ class Kernel:
         elif isinstance(syscall, Self):
             self.schedule_resume(proc, proc, cost=cost)
         elif isinstance(syscall, Kill):
-            target = syscall.process
-            was_alive = target.alive
-            if was_alive:
-                self._cancel_pending_select(target)
-                target.kill()
-                self._on_exit(target)
-                for watcher in list(target.exit_watchers):
-                    watcher(target)
+            was_alive = self.kill_process(syscall.process)
             self.schedule_resume(proc, was_alive, cost=cost)
         elif isinstance(syscall, SetPriority):
             target = syscall.process or proc
@@ -465,6 +470,21 @@ class Kernel:
                     f"{proc.name!r} yielded {syscall!r}, which is not a syscall"
                 ),
             )
+
+    def kill_process(self, target: Process) -> bool:
+        """Terminate ``target`` immediately (the ``Kill`` syscall's core).
+
+        Also the primitive the fault injector uses to crash every process
+        on a node.  Returns True if the target was alive.
+        """
+        if not target.alive:
+            return False
+        self._cancel_pending_select(target)
+        target.kill()
+        self._on_exit(target)
+        for watcher in list(target.exit_watchers):
+            watcher(target)
+        return True
 
     # ------------------------------------------------------------------
     # Join / Par

@@ -20,8 +20,11 @@ if TYPE_CHECKING:  # pragma: no cover
 class Timeout(Guard):
     """Guard that fires ``ticks`` after its select starts waiting.
 
-    The deadline is anchored at the first poll, so re-used guard objects
-    must not be shared between selects.
+    The deadline is anchored at the first poll, so guard objects must not
+    be shared between selects: once a ``Timeout`` has been consumed (its
+    select committed a guard — this one or another), re-arming it in a new
+    select raises :class:`ValueError` instead of silently reusing the
+    stale deadline.
     """
 
     def __init__(self, ticks: int, value: object = None, pri: object = None) -> None:
@@ -31,9 +34,15 @@ class Timeout(Guard):
         self.value = value
         self.pri = pri
         self._deadline: int | None = None
+        self._consumed = False
         self._cancel = {"cancelled": False}
 
     def poll(self, kernel: "Kernel") -> Ready | None:
+        if self._consumed:
+            raise ValueError(
+                f"Timeout({self.ticks}) guard re-armed after its select "
+                f"completed; construct a fresh Timeout per select"
+            )
         if self._deadline is None:
             self._deadline = kernel.clock.now + self.ticks
         if kernel.clock.now >= self._deadline:
@@ -41,6 +50,7 @@ class Timeout(Guard):
         return None
 
     def commit(self, kernel: "Kernel", proc: "Process", ready: Ready) -> object:
+        self._consumed = True
         return ready.value
 
     def on_block(self, kernel: "Kernel", proc: "Process") -> None:
@@ -56,6 +66,9 @@ class Timeout(Guard):
         kernel.post(self._deadline, fire, priority=proc.priority, cancel=self._cancel)
 
     def on_unblock(self, kernel: "Kernel", proc: "Process") -> None:
+        # The select resolved (through this guard or another): the anchored
+        # deadline is spent either way.
+        self._consumed = True
         self._cancel["cancelled"] = True
 
     def describe(self) -> str:

@@ -45,6 +45,11 @@ class Node:
         obj.node = self
         name = getattr(obj, "alps_name", None) or getattr(obj, "name", repr(obj))
         self.objects[name] = obj
+        # The object's manager lives on this node too: a node crash must
+        # take it down together with the placed object.
+        manager = getattr(obj, "manager_process", None)
+        if manager is not None:
+            manager.node = self
         return obj
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -65,7 +70,11 @@ class Network:
         self._nodes: dict[str, Node] = {}
         self._links: dict[str, dict[str, int]] = {}
         self._routes: dict[str, dict[str, int]] | None = None
+        self._routes_epoch = -1
         self._process_nodes: dict[int, Node] = {}
+        #: Fault injector, if installed (:func:`repro.faults.install`).
+        #: Downed links/nodes are subtracted from the routed topology.
+        self.faults: Any = None
         #: Total messages × hops carried (benchmark metric).
         self.traffic = 0
 
@@ -105,14 +114,14 @@ class Network:
 
     # -- routing ------------------------------------------------------------
 
-    def _dijkstra(self, source: str) -> dict[str, int]:
+    def _dijkstra(self, links: dict[str, dict[str, int]], source: str) -> dict[str, int]:
         dist = {source: 0}
         heap = [(0, source)]
         while heap:
             d, u = heapq.heappop(heap)
             if d > dist.get(u, float("inf")):
                 continue
-            for v, w in self._links[u].items():
+            for v, w in links.get(u, {}).items():
                 nd = d + w
                 if nd < dist.get(v, float("inf")):
                     dist[v] = nd
@@ -120,16 +129,20 @@ class Network:
         return dist
 
     def _ensure_routes(self) -> dict[str, dict[str, int]]:
-        if self._routes is None:
-            self._routes = {name: self._dijkstra(name) for name in self._nodes}
+        epoch = 0 if self.faults is None else self.faults.epoch
+        if self._routes is None or epoch != self._routes_epoch:
+            links = self._links
+            if self.faults is not None:
+                links = self.faults.filter_links(links)
+            self._routes = {name: self._dijkstra(links, name) for name in self._nodes}
+            self._routes_epoch = epoch
         return self._routes
 
-    def latency(self, a: Node | str, b: Node | str, size: int = 1) -> int:
-        """Shortest-path latency between two nodes (0 for co-located).
+    def latency_or_none(self, a: Node | str, b: Node | str, size: int = 1) -> int | None:
+        """Like :meth:`latency`, but None instead of raising on no route.
 
-        ``size`` scales the cost linearly: a message of ``size`` units
-        takes ``size × path_latency`` — the simple store-and-forward model
-        appropriate for transputer links.
+        Used by the fault injector, for which an unreachable destination
+        is a runtime condition (partition), not an API misuse.
         """
         name_a = a.name if isinstance(a, Node) else a
         name_b = b.name if isinstance(b, Node) else b
@@ -138,9 +151,23 @@ class Network:
         routes = self._ensure_routes()
         dist = routes[name_a].get(name_b)
         if dist is None:
-            raise NetworkError(f"no route from {name_a!r} to {name_b!r}")
+            return None
         self.traffic += dist
         return dist * max(1, size)
+
+    def latency(self, a: Node | str, b: Node | str, size: int = 1) -> int:
+        """Shortest-path latency between two nodes (0 for co-located).
+
+        ``size`` scales the cost linearly: a message of ``size`` units
+        takes ``size × path_latency`` — the simple store-and-forward model
+        appropriate for transputer links.
+        """
+        result = self.latency_or_none(a, b, size=size)
+        if result is None:
+            name_a = a.name if isinstance(a, Node) else a
+            name_b = b.name if isinstance(b, Node) else b
+            raise NetworkError(f"no route from {name_a!r} to {name_b!r}")
+        return result
 
     def diameter(self) -> int:
         """Largest shortest-path latency between any two nodes."""

@@ -62,17 +62,28 @@ class NetSend(Syscall):
             return
         home = getattr(channel, "node", None)
         sender_node = node_of(proc)
-        delay = 0
-        if home is not None and sender_node is not None and home is not sender_node:
-            delay = home.network.latency(sender_node, home, size=self.size)
 
         def deliver() -> None:
             channel._enqueue(self.values)
             kernel.stats.sends += 1
             kernel.notify(channel)
 
-        if delay:
-            kernel.post(kernel.clock.now + delay, deliver)
+        remote = home is not None and sender_node is not None and home is not sender_node
+        faults = kernel.faults
+        if faults is not None and remote:
+            # The injector decides this message's fate: zero, one (possibly
+            # jittered) or two (duplicated) deliveries.
+            for delay in faults.message_fates(proc, sender_node, home, self.size):
+                if delay:
+                    kernel.post(kernel.clock.now + delay, deliver)
+                else:
+                    deliver()
         else:
-            deliver()
+            delay = 0
+            if remote:
+                delay = home.network.latency(sender_node, home, size=self.size)
+            if delay:
+                kernel.post(kernel.clock.now + delay, deliver)
+            else:
+                deliver()
         kernel.schedule_resume(proc, None, cost=cost + kernel.costs.send)

@@ -7,6 +7,7 @@
 * :class:`ParallelBuffer` — §2.8.2 parallel bounded buffer.
 * :class:`DiskScheduler` — SCAN via run-time guard priorities.
 * :class:`Barrier`, :class:`ResourceAllocator` — pure manager combining.
+* :class:`Supervisor` — crash recovery for watched objects (repro.faults).
 """
 
 from .alarm_clock import AlarmClock
@@ -18,6 +19,7 @@ from .parallel_buffer import ParallelBuffer
 from .readers_writers import Database
 from .resource_allocator import ResourceAllocator
 from .spooler import Printer, Spooler
+from .supervisor import Supervisor
 
 __all__ = [
     "AlarmClock",
@@ -30,4 +32,5 @@ __all__ = [
     "DiskScheduler",
     "Barrier",
     "ResourceAllocator",
+    "Supervisor",
 ]

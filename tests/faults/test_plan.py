@@ -1,0 +1,90 @@
+"""FaultPlan construction and validation."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.faults import FaultPlan, MessageRule
+
+
+def test_builders_chain():
+    plan = (
+        FaultPlan(seed=1, detection_delay=20)
+        .crash_node("n0", at=10, restart_at=50)
+        .link_down("n0", "n1", at=5, up_at=15)
+        .partition(["n0"], ["n1", "n2"], at=30, heal_at=60)
+        .slow_cpu("n2", factor=3.0, at=0, until=100)
+        .drop_messages(0.1)
+        .duplicate_messages(0.05, dst="n1")
+        .delay_jitter(7, src="n0")
+    )
+    assert len(plan.crashes) == 1
+    assert len(plan.link_faults) == 1
+    assert len(plan.partitions) == 1
+    assert len(plan.slow_cpus) == 1
+    assert len(plan.message_rules) == 3
+    assert plan.seed == 1 and plan.detection_delay == 20
+
+
+def test_negative_detection_delay_rejected():
+    with pytest.raises(NetworkError):
+        FaultPlan(detection_delay=-1)
+
+
+@pytest.mark.parametrize("rate", [-0.1, 1.5])
+def test_rates_must_be_probabilities(rate):
+    with pytest.raises(NetworkError):
+        FaultPlan().drop_messages(rate)
+    with pytest.raises(NetworkError):
+        FaultPlan().duplicate_messages(rate)
+
+
+def test_slow_cpu_factor_below_one_rejected():
+    with pytest.raises(NetworkError):
+        FaultPlan().slow_cpu("n0", factor=0.5)
+
+
+def test_overlapping_partition_groups_rejected():
+    with pytest.raises(NetworkError):
+        FaultPlan().partition(["n0", "n1"], ["n1", "n2"], at=10)
+
+
+def test_window_end_must_follow_start():
+    with pytest.raises(NetworkError):
+        FaultPlan().crash_node("n0", at=10, restart_at=10)
+    with pytest.raises(NetworkError):
+        FaultPlan().link_down("a", "b", at=-1)
+    with pytest.raises(NetworkError):
+        FaultPlan().delay_jitter(-3)
+
+
+def test_rules_scope_by_src_and_dst():
+    plan = (
+        FaultPlan()
+        .drop_messages(0.5, dst="n1")
+        .duplicate_messages(0.5, src="n0")
+        .delay_jitter(4)  # unscoped: matches everything
+    )
+    assert len(plan.rules_for("n0", "n1")) == 3
+    assert len(plan.rules_for("n2", "n1")) == 2  # src-scoped rule excluded
+    assert len(plan.rules_for("n0", "n2")) == 2  # dst-scoped rule excluded
+    assert len(plan.rules_for("n3", "n4")) == 1  # only the wildcard
+
+
+def test_message_rule_matching():
+    rule = MessageRule(drop_rate=0.2, src="a", dst=None)
+    assert rule.matches("a", "anything")
+    assert not rule.matches("b", "anything")
+
+
+def test_describe_lists_every_fault():
+    plan = (
+        FaultPlan()
+        .crash_node("n0", at=10, restart_at=50)
+        .partition(["n0"], ["n1"], at=30)
+        .drop_messages(0.1)
+    )
+    text = plan.describe()
+    assert "crash n0 @ 10" in text
+    assert "partition" in text
+    assert "drop 10%" in text
+    assert FaultPlan().describe() == "(no faults)"

@@ -1,0 +1,99 @@
+"""Network edge cases: unplaced objects, same-node sends, no-route queries."""
+
+import pytest
+
+from repro.channels import Receive
+from repro.errors import NetworkError
+from repro.net import NetChannel, NetSend, Network, ring
+from repro.stdlib import Dictionary
+
+
+class TestUnplacedObject:
+    def test_call_from_node_process_works_with_zero_latency(self, free_kernel):
+        kernel = free_kernel
+        net = ring(kernel, 4)
+        # Never placed: the object lives "outside" the network, so calls
+        # reach it without any network delay.
+        d = Dictionary(kernel, name="d", entries={"a": 1}, search_work=0)
+        times = []
+
+        def client():
+            value = yield d.search("a")
+            times.append((kernel.clock.now, value))
+
+        net.node("n2").spawn(client, name="client")
+        kernel.run()
+        assert times == [(0, 1)]
+        assert net.traffic == 0
+
+    def test_call_from_plain_process_works(self, kernel):
+        ring(kernel, 4)  # a network exists but neither party is on it
+        d = Dictionary(kernel, name="d", entries={"a": 1}, search_work=0)
+
+        def client():
+            return (yield d.search("a"))
+
+        assert kernel.run_process(client) == 1
+
+
+class TestSameNodeSend:
+    def test_netsend_to_own_node_is_immediate_and_free(self, free_kernel):
+        kernel = free_kernel
+        net = ring(kernel, 4)
+        inbox = NetChannel(net.node("n1"), name="inbox")
+        got = []
+
+        def main():
+            yield NetSend(inbox, "local", size=100)  # size must not matter
+            got.append((kernel.clock.now, (yield Receive(inbox))))
+
+        net.node("n1").spawn(main, name="main")
+        kernel.run()
+        assert got == [(0, "local")]
+        assert net.traffic == 0  # never touched a link
+
+    def test_netsend_from_nodeless_process_is_immediate(self, free_kernel):
+        kernel = free_kernel
+        net = ring(kernel, 4)
+        inbox = NetChannel(net.node("n1"), name="inbox")
+        got = []
+
+        def main():
+            yield NetSend(inbox, "x")
+            got.append((kernel.clock.now, (yield Receive(inbox))))
+
+        kernel.spawn(main, name="main")  # spawned off-network
+        kernel.run()
+        assert got == [(0, "x")]
+
+
+class TestNoRoute:
+    def make_islands(self, kernel):
+        """Two connected pairs with no bridge between them."""
+        net = Network(kernel)
+        for name in ("a0", "a1", "b0", "b1"):
+            net.add_node(name)
+        net.connect("a0", "a1", latency=2)
+        net.connect("b0", "b1", latency=3)
+        return net
+
+    def test_latency_raises_across_islands(self, kernel):
+        net = self.make_islands(kernel)
+        with pytest.raises(NetworkError, match="no route"):
+            net.latency("a0", "b1")
+
+    def test_latency_or_none_returns_none(self, kernel):
+        net = self.make_islands(kernel)
+        assert net.latency_or_none("a0", "b1") is None
+        assert net.latency_or_none("a0", "a1") == 2
+        assert net.latency_or_none("b0", "b0") == 0
+
+    def test_late_link_bridges_islands(self, kernel):
+        net = self.make_islands(kernel)
+        assert net.latency_or_none("a1", "b0") is None
+        net.connect("a1", "b0", latency=1)  # invalidates cached routes
+        assert net.latency("a0", "b1") == 2 + 1 + 3
+
+    def test_diameter_ignores_unreachable_pairs(self, kernel):
+        net = self.make_islands(kernel)
+        assert net.diameter() == 3  # largest *reachable* distance

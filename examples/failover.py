@@ -1,19 +1,23 @@
 #!/usr/bin/env python
-"""Replicated-dictionary failover under deterministic fault injection.
+"""Replicated-object failover, now first-class: ``repro.replication``.
 
-Two Dictionary replicas serve the same word list from different nodes of
-a 4-ring.  A scripted :class:`~repro.faults.FaultPlan` crashes the
-primary's node mid-run and restarts it later; every message to the
-primary also risks being dropped.  Three mechanisms cooperate:
+An earlier version of this example hand-rolled the whole pattern —
+timed calls, retry, fall-back-to-replica, Supervisor — at every call
+site.  :class:`~repro.replication.Replicated` packages it: three KVStore
+replicas on distinct nodes of a 6-ring, a write sequencer that applies
+every ``put`` primary-first and forwards it to the backups before
+acknowledging, and a heartbeat-driven view that promotes the best backup
+when the primary's node dies and catches the ex-primary up when it
+returns as a backup.
 
-* clients issue *timed* calls wrapped in ``retry`` — a lost message costs
-  one timeout, not a hung process;
-* a client that exhausts its retries against the primary falls back to
-  the replica (classic client-side failover);
-* a :class:`~repro.stdlib.Supervisor` watches the primary: calls that
-  were in flight when the node died are captured, and once the node is
-  back the Supervisor restarts the object and re-queues them — those
-  callers never see an error at all.
+Clients just write ``yield from rep.get(...)`` / ``yield from
+rep.put(...)``; every fault below is absorbed by the wrapper:
+
+* the primary's node crashes mid-run (reads fail over, a backup is
+  promoted, no acknowledged write is lost);
+* the node restarts later (the Supervisor revives the replica, the view
+  monitor replays the writes it missed, and it rejoins as a backup);
+* messages toward one backup are lossy throughout.
 
 Everything runs on the virtual clock from one seed: run it twice and the
 timeline is tick-for-tick identical.
@@ -23,89 +27,89 @@ Run:  python examples/failover.py
 
 from repro import Kernel
 from repro.errors import RemoteCallError
-from repro.faults import ExponentialBackoff, FaultPlan, install, retry
+from repro.faults import FaultPlan, install
 from repro.kernel import Delay
 from repro.kernel.costs import FREE
 from repro.net import ring
-from repro.stdlib import Dictionary, Supervisor
+from repro.replication import Replicated
+from repro.stdlib import KVStore, Supervisor
 
-WORDS = {"alps": "a language for process scheduling", "manager": "scheduler"}
+WORDS = {
+    "alps": "a language for process scheduling",
+    "manager": "scheduler",
+    "entry": "remote procedure",
+}
 
 
 def main():
     kernel = Kernel(costs=FREE, seed=42, trace=True)
-    net = ring(kernel, 4)
-
-    primary = net.node("n1").place(
-        Dictionary(kernel, name="primary", entries=WORDS, search_work=10)
-    )
-    replica = net.node("n3").place(
-        Dictionary(kernel, name="replica", entries=WORDS, search_work=10)
-    )
+    net = ring(kernel, 6)
 
     faults = install(
         kernel,
         net,
         FaultPlan(seed=42, detection_delay=15)
-        .crash_node("n1", at=120, restart_at=320)
-        .drop_messages(0.15, dst="n1"),
+        .crash_node("n0", at=300, restart_at=900)
+        .drop_messages(0.10, dst="n2"),
     )
-    sup = net.node("n2").place(Supervisor(kernel, name="sup", faults=faults))
-    sup.watch(primary)
-    print("primary on n1, replica on n3, supervisor on n2")
-    print(f"fault plan: {faults.plan.describe()}\n")
+    sup = net.node("n5").place(Supervisor(kernel, name="sup", faults=faults))
 
-    def lookup(word):
-        """Primary with retries, then replica: the client-side half."""
-        try:
-            result = yield from retry(
-                lambda: primary.search(word, timeout=60),
-                ExponentialBackoff(base=20, max_attempts=3, jitter=5),
-            )
-            source = "primary"
-        except RemoteCallError as exc:
-            print(f"  t={kernel.clock.now:4} client: primary unreachable ({exc}); "
-                  f"trying replica")
-            result = yield replica.search(word, timeout=60)
-            source = "replica"
-        return result, source
+    rep = Replicated(
+        lambda name: KVStore(kernel, name=name, data=dict(WORDS)),
+        net,
+        replicas=3,
+        name="dict",
+        writes=("put", "delete"),
+        nodes=["n0", "n2", "n4"],
+        supervisor=sup,
+        call_timeout=60,
+        heartbeat_interval=40,
+    )
+    print(rep.describe())
+    print(f"supervisor on n5; fault plan: {faults.plan.describe()}\n")
 
-    def client(node, period, count):
+    def reader(node, period, count):
         def body():
             for i in range(count):
                 yield Delay(period)
-                word = "alps" if i % 2 == 0 else "manager"
-                result, source = yield from lookup(word)
-                print(f"  t={kernel.clock.now:4} {node} got {word!r} "
-                      f"from the {source}")
+                word = ("alps", "manager", "entry")[i % 3]
+                value = yield from rep.get(word)
+                print(f"  t={kernel.clock.now:4} {node} read {word!r} = {value!r} "
+                      f"(primary is {rep.view.primary} on {rep.primary_node()})")
 
-        net.node(node).spawn(body, name=f"client_{node}")
+        net.node(node).spawn(body, name=f"reader_{node}")
 
-    # One caller is deliberately mid-call when n1 dies at t=120: the
-    # Supervisor re-queues it and it completes after the restart.
-    def unlucky():
-        yield Delay(115)
-        print(f"  t={kernel.clock.now:4} n0 calls the primary "
-              "(will be interrupted by the crash)")
-        value = yield primary.search("alps")
-        print(f"  t={kernel.clock.now:4} n0 interrupted call completed "
-              f"anyway: {value!r}")
+    def writer():
+        for i in range(8):
+            yield Delay(95)
+            word, meaning = f"word{i}", f"meaning {i}"
+            try:
+                yield from rep.put(word, meaning)
+                print(f"  t={kernel.clock.now:4} writer acked {word!r} "
+                      f"(version {rep.view.version})")
+            except RemoteCallError:
+                print(f"  t={kernel.clock.now:4} writer: {word!r} failed")
 
-    client("n0", period=70, count=6)
-    client("n2", period=90, count=4)
-    net.node("n0").spawn(unlucky, name="unlucky")
+    reader("n1", period=70, count=9)
+    reader("n3", period=110, count=6)
+    kernel.spawn(writer, name="writer")
 
     print("timeline:")
-    kernel.run(until=1000)
+    kernel.run(until=2200)
 
-    print(f"\nsupervisor restarts: {sup.restarts}")
+    print("\nview transitions (tick, event, replica, version):")
+    for transition in rep.view.transitions:
+        print(f"  {transition}")
+    print("replica versions:", rep.view.versions,
+          "acknowledged:", rep.view.version)
+    datas = [replica.data for replica in rep.replicas()]
+    print("replicas converged:", datas[0] == datas[1] == datas[2])
     stats = kernel.stats.custom
-    for key in ("dropped_requests", "dropped_responses", "retries",
-                "failed_calls", "requeued_calls", "supervisor_restarts"):
-        print(f"  {key:20} {stats.get(key, 0)}")
-    fault_events = [(e.time, e.kind, e.process) for e in kernel.trace
-                    if e.kind in ("crash", "restart")]
-    print(f"  fault events         {fault_events}")
+    for key in ("replicated_reads", "replicated_writes", "replication_failovers",
+                "replication_promotions", "replication_rejoins",
+                "replication_catchup_writes", "requeued_calls",
+                "supervisor_restarts", "dropped_requests"):
+        print(f"  {key:26} {stats.get(key, 0)}")
 
 
 if __name__ == "__main__":

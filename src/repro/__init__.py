@@ -17,6 +17,8 @@ Python DSL on a deterministic virtual-time kernel:
   transputer grid of §4) with remote entry calls;
 * :mod:`repro.faults` — deterministic fault injection (crashes, partitions,
   message loss) with detection and recovery combinators;
+* :mod:`repro.replication` — primary/backup replicated objects with
+  automatic failover, promotion and catch-up;
 * :mod:`repro.stdlib` — the paper's example objects, ready to use;
 * :mod:`repro.workloads` — arrival processes and popularity distributions
   for the benchmark harness.
@@ -82,6 +84,7 @@ from .errors import (
     ObjectModelError,
     ProtocolError,
     RemoteCallError,
+    ReplicationError,
     SelectError,
 )
 from .faults import (
@@ -93,6 +96,7 @@ from .faults import (
     retry,
 )
 from .faults import install as install_faults
+from .replication import Replicated, place_replicated
 from .kernel import (
     Charge,
     CostModel,
@@ -160,6 +164,9 @@ __all__ = [
     "FixedBackoff",
     "ExponentialBackoff",
     "Heartbeat",
+    # replication
+    "Replicated",
+    "place_replicated",
     # errors
     "AlpsError",
     "DeadlockError",
@@ -172,4 +179,5 @@ __all__ = [
     "ProtocolError",
     "NetworkError",
     "RemoteCallError",
+    "ReplicationError",
 ]

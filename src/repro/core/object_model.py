@@ -230,6 +230,41 @@ class AlpsObject(metaclass=AlpsObjectMeta):
         if self.manager_process is None or not self.manager_process.alive:
             self._spawn_manager()
 
+    # -- shared-data transfer (used by repro.replication) -------------------
+
+    #: Infrastructure attributes excluded from :meth:`state_snapshot`.
+    _SNAPSHOT_SKIP = frozenset({"kernel", "node", "manager_process", "alps_name"})
+
+    def state_snapshot(self) -> dict:
+        """Deep-copy the object's shared data for transfer to a peer.
+
+        Shared data is every public instance attribute — the same state
+        :meth:`restart` preserves across a crash (the stable-storage
+        model).  Kernel plumbing (kernel, node, manager, runtimes, pool)
+        and the instance name are excluded, so a snapshot taken from one
+        replica can be installed into another instance of the same class
+        with :meth:`state_restore`.  Attribute values must be
+        deep-copyable.
+        """
+        return copy.deepcopy(
+            {
+                key: value
+                for key, value in self.__dict__.items()
+                if not key.startswith("_") and key not in self._SNAPSHOT_SKIP
+            }
+        )
+
+    def state_restore(self, snapshot: dict) -> None:
+        """Install a :meth:`state_snapshot` taken from a peer replica."""
+        for key, value in copy.deepcopy(snapshot).items():
+            setattr(self, key, value)
+
+    def exported_entries(self) -> list[str]:
+        """Names of the entries callable from outside (proxy surface)."""
+        return [
+            name for name, spec in self.__alps_entries__.items() if spec.exported
+        ]
+
     # -- plumbing used by primitives ---------------------------------------
 
     def _entry_runtime(self, proc_name: str) -> EntryRuntime:

@@ -80,6 +80,17 @@ class NetworkError(AlpsError):
     """Misuse of the simulated network (unknown node, no route, ...)."""
 
 
+class ReplicationError(AlpsError):
+    """Misuse or unrecoverable state of a replicated object.
+
+    Raised by :class:`repro.replication.Replicated` for configuration
+    errors (unknown write entry, too few nodes) and for unrecoverable
+    runtime states (no donor replica left for a state transfer).
+    Transient distributed failures keep raising
+    :class:`RemoteCallError` so ``retry`` and failover logic compose.
+    """
+
+
 class RemoteCallError(AlpsError):
     """A remote entry call failed for a *distributed-systems* reason.
 

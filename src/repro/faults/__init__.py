@@ -18,7 +18,7 @@ Same seed + same plan ⇒ same faults at the same ticks ⇒ the same
 interleaving — fault scenarios are as replayable as fault-free runs.
 """
 
-from .detect import Beacon, Heartbeat
+from .detect import Beacon, Heartbeat, HeartbeatEventGuard
 from .plan import (
     FaultPlan,
     LinkFault,
@@ -46,4 +46,5 @@ __all__ = [
     "ExponentialBackoff",
     "Beacon",
     "Heartbeat",
+    "HeartbeatEventGuard",
 ]

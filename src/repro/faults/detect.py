@@ -14,16 +14,24 @@ Place one :class:`Beacon` per node you want to monitor::
     hb.start()
 
 Both detectors are deterministic: pings are ordinary timed entry calls
-on the virtual clock.
+on the virtual clock.  Each round pings every target *concurrently*
+(one spawned probe per target, joined with ``par``), so one down
+target's timeout never delays another target's verdict: detection skew
+within a round is bounded by each target's own ping time, and a round
+lasts ``max`` — not ``sum`` — of the ping times.
+
+Consumers that must *react* to verdicts (the replication view monitor,
+a test) block on :meth:`Heartbeat.wait_for_events` instead of polling.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Iterable
 
 from ..core import AlpsObject, entry
-from ..errors import RemoteCallError
-from ..kernel.syscalls import Delay
+from ..errors import KernelError, RemoteCallError
+from ..kernel.syscalls import Delay, Par, Select
+from ..kernel.waiting import Guard, Ready, Waitable
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.kernel import Kernel
@@ -38,20 +46,47 @@ class Beacon(AlpsObject):
         return "ok"
 
 
+class HeartbeatEventGuard(Guard):
+    """Ready when the heartbeat logged transitions beyond ``seen``.
+
+    The heartbeat counterpart of
+    :class:`~repro.faults.runtime.FaultEventGuard`: lets a recovery
+    daemon sleep until a verdict changes instead of polling.
+    """
+
+    def __init__(self, heartbeat: "Heartbeat", seen: int) -> None:
+        self.heartbeat = heartbeat
+        self.seen = seen
+
+    def poll(self, kernel: "Kernel") -> Ready | None:
+        count = self.heartbeat.event_count
+        return Ready(count) if count > self.seen else None
+
+    def commit(self, kernel: "Kernel", proc: "Process", ready: Ready) -> int:
+        return ready.value
+
+    def waitables(self) -> Iterable[Waitable]:
+        return (self.heartbeat.events,)
+
+    def describe(self) -> str:
+        return f"heartbeat-events(>{self.seen})"
+
+
 class Heartbeat:
     """Ping watched objects on a period; record up/down transitions.
 
     Parameters
     ----------
     interval:
-        Ticks between monitoring rounds.
+        Ticks between monitoring rounds (measured from the end of one
+        round to the start of the next).
     timeout:
         Deadline of each ping; a ping that exceeds it (or fails with
         :class:`~repro.errors.RemoteCallError`) marks the target down.
     rounds:
         Stop after this many rounds (``None`` runs forever — note that an
         unbounded monitor keeps the event queue non-empty, so give a
-        bound or use ``kernel.run(until=...)``).
+        bound, call :meth:`stop`, or use ``kernel.run(until=...)``).
     """
 
     def __init__(
@@ -70,6 +105,10 @@ class Heartbeat:
         self.status: dict[str, str] = {}
         #: (tick, target, verdict) for every status change.
         self.transitions: list[tuple[int, str, str]] = []
+        #: Monotone count of status changes, and the waitable recovery
+        #: daemons block on to observe them.
+        self.event_count = 0
+        self.events = Waitable()
         self.process: "Process | None" = None
 
     def watch(self, name: str, obj: Any) -> None:
@@ -80,29 +119,73 @@ class Heartbeat:
     def is_up(self, name: str) -> bool:
         return self.status.get(name) == "up"
 
+    def wait_for_events(self, seen: int) -> Select:
+        """A blocking select that fires once transitions exceed ``seen``."""
+        select = Select(HeartbeatEventGuard(self, seen))
+        select.unwrap = True
+        return select
+
     def start(self) -> "Process":
-        """Spawn the monitor daemon; returns its process."""
+        """Spawn the monitor daemon; returns its process.
+
+        Raises :class:`~repro.errors.KernelError` if the monitor is
+        already running (a second daemon would double every ping and
+        leak a process).
+        """
+        if self.process is not None and self.process.alive:
+            raise KernelError(
+                "heartbeat monitor is already running; call stop() before "
+                "starting it again"
+            )
         self.process = self.kernel.spawn(
             self._monitor, name="heartbeat", daemon=True
         )
         return self.process
 
+    def stop(self) -> bool:
+        """Kill the monitor daemon; returns True if one was running.
+
+        Verdicts and transitions are kept; :meth:`start` may be called
+        again later.
+        """
+        proc, self.process = self.process, None
+        if proc is None or not proc.alive:
+            return False
+        self.kernel.kill_process(proc)
+        return True
+
+    def _record(self, name: str, verdict: str) -> None:
+        if self.status.get(name) == verdict:
+            return
+        self.transitions.append((self.kernel.clock.now, name, verdict))
+        self.status[name] = verdict
+        self.kernel.stats.bump(f"heartbeat_{verdict}")
+        self.event_count += 1
+        self.kernel.notify(self.events)
+
+    def _probe(self, name: str):
+        """One target's ping for one round; records its own verdict."""
+        obj = self.targets[name]
+
+        def body():
+            try:
+                yield obj.ping(timeout=self.timeout)
+            except RemoteCallError:
+                self._record(name, "down")
+            else:
+                self._record(name, "up")
+
+        return body
+
     def _monitor(self):
         done = 0
         while self.rounds is None or done < self.rounds:
-            for name in list(self.targets):
-                obj = self.targets[name]
-                try:
-                    yield obj.ping(timeout=self.timeout)
-                except RemoteCallError:
-                    verdict = "down"
-                else:
-                    verdict = "up"
-                if self.status.get(name) != verdict:
-                    now = self.kernel.clock.now
-                    self.transitions.append((now, name, verdict))
-                    self.status[name] = verdict
-                    self.kernel.stats.bump(f"heartbeat_{verdict}")
+            names = list(self.targets)
+            if names:
+                # Concurrent probes: verdicts land at each ping's own
+                # completion tick, and the round barrier costs max (not
+                # sum) of the ping times.
+                yield Par([self._probe(name) for name in names])
             done += 1
             if self.rounds is None or done < self.rounds:
                 yield Delay(self.interval)

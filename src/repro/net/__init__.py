@@ -1,6 +1,7 @@
 """Simulated distributed substrate: nodes, topologies, remote calls (§1, §4)."""
 
 from .network import Network, Node, node_of
+from .placement import choose_nodes, node_load
 from .rpc import NetChannel, NetSend
 from .topologies import full_mesh, hypercube, ring, star, transputer_grid
 
@@ -8,6 +9,8 @@ __all__ = [
     "Network",
     "Node",
     "node_of",
+    "choose_nodes",
+    "node_load",
     "NetChannel",
     "NetSend",
     "transputer_grid",

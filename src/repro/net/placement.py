@@ -1,0 +1,74 @@
+"""Fault-aware node selection for object placement.
+
+``place`` is a per-node operation; this module answers the question that
+precedes it: *which* nodes?  :func:`choose_nodes` ranks candidates by
+liveness and load so replicas (or pool growth) steer away from nodes
+that a :class:`~repro.faults.Heartbeat` or the installed fault runtime
+currently believes are down, and spread across distinct nodes instead of
+piling onto one.
+
+The ranking is deterministic: (believed-down, load, insertion order).
+Down nodes are still *eligible* — a detector can be wrong, and a caller
+asking for more replicas than there are healthy nodes should get a
+degraded placement rather than an error — they just rank last.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..errors import NetworkError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.detect import Heartbeat
+    from .network import Network, Node
+
+
+def node_load(node: "Node") -> int:
+    """Placement pressure on a node: how many objects already live there."""
+    return len(node.objects)
+
+
+def choose_nodes(
+    network: "Network",
+    count: int,
+    heartbeat: "Heartbeat | None" = None,
+    avoid: Iterable[str] = (),
+) -> list["Node"]:
+    """Pick ``count`` distinct nodes, preferring live and lightly loaded ones.
+
+    Parameters
+    ----------
+    heartbeat:
+        Optional detector whose per-*node-name* verdicts demote nodes it
+        believes are down (watch targets under their node names to use
+        this).  The installed fault runtime's ground truth, when present,
+        demotes known-down nodes as well.
+    avoid:
+        Node names never to choose (e.g. the node a Supervisor lives on,
+        or nodes already hosting a co-location-averse peer).
+
+    Returns the chosen nodes, best first; raises
+    :class:`~repro.errors.NetworkError` when fewer than ``count``
+    distinct candidates exist (co-location is never an acceptable
+    fallback for replicas).
+    """
+    if count < 1:
+        raise NetworkError(f"choose_nodes: count must be >= 1, got {count}")
+    avoided = set(avoid)
+    candidates = [n for n in network.nodes() if n.name not in avoided]
+    if len(candidates) < count:
+        raise NetworkError(
+            f"choose_nodes: need {count} distinct nodes but only "
+            f"{len(candidates)} are available (avoid={sorted(avoided)})"
+        )
+
+    def believed_down(node: "Node") -> bool:
+        if heartbeat is not None and heartbeat.status.get(node.name) == "down":
+            return True
+        faults = network.faults
+        return faults is not None and not faults.node_up(node.name)
+
+    # Stable sort: insertion order breaks ties deterministically.
+    ranked = sorted(candidates, key=lambda n: (believed_down(n), node_load(n)))
+    return ranked[:count]

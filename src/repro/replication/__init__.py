@@ -1,0 +1,19 @@
+"""Replicated ALPS objects: primary/backup with automatic failover.
+
+The paper's availability story (§4 sketches recovery of ALPS objects
+from node failures) ends at restart-in-place; this package adds the
+natural next step — run N copies of an object on distinct nodes and let
+a wrapper route calls so callers never see a single replica's crash.
+See :mod:`repro.replication.replicated` for the semantics.
+"""
+
+from .log import WriteLog
+from .replicated import Replicated, place_replicated
+from .view import ReplicaView
+
+__all__ = [
+    "Replicated",
+    "ReplicaView",
+    "WriteLog",
+    "place_replicated",
+]

@@ -1,0 +1,51 @@
+"""The versioned write log backing backup catch-up.
+
+Every acknowledged write is appended as ``(version, entry, args)``.  A
+replica that was down rejoins by replaying the suffix it missed; a
+replica that fell behind a *pruned* prefix (``limit`` bounds the log)
+cannot be repaired by replay and takes a full state snapshot from the
+most up-to-date live replica instead — :meth:`since` returning ``None``
+is the signal for that escalation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class WriteLog:
+    """Append-only, optionally bounded log of acknowledged writes."""
+
+    def __init__(self, limit: int | None = None) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError(f"log limit must be >= 1, got {limit}")
+        self.limit = limit
+        #: (version, entry name, args) in version order.
+        self.entries: list[tuple[int, str, tuple]] = []
+        #: Highest version that has been pruned away (0 = nothing pruned).
+        self.base = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def append(self, version: int, entry: str, args: tuple[Any, ...]) -> None:
+        if self.entries and version <= self.entries[-1][0]:
+            raise ValueError(
+                f"log versions must be monotone: {version} after "
+                f"{self.entries[-1][0]}"
+            )
+        self.entries.append((version, entry, tuple(args)))
+        if self.limit is not None and len(self.entries) > self.limit:
+            dropped = len(self.entries) - self.limit
+            self.base = self.entries[dropped - 1][0]
+            del self.entries[:dropped]
+
+    def since(self, version: int) -> list[tuple[int, str, tuple]] | None:
+        """Writes with version > ``version``; None if that point is pruned.
+
+        ``None`` means replay cannot reconstruct the replica's state and
+        the caller must fall back to a full state transfer.
+        """
+        if version < self.base:
+            return None
+        return [e for e in self.entries if e[0] > version]

@@ -1,0 +1,153 @@
+"""The replica view: who is up, who has applied what, who leads.
+
+A :class:`ReplicaView` is the replication wrapper's membership and
+progress table — the piece of Raft/primary-backup bookkeeping this
+object layer needs.  It tracks, per replica:
+
+* a liveness verdict (folded in from the heartbeat, from failed calls,
+  and from the fault runtime's restart events);
+* the highest write version the replica is known to have applied.
+
+and globally the current ``primary`` and the highest *acknowledged*
+write version.  Every status change and promotion is appended to
+``transitions`` with its virtual tick, so two runs with the same seed
+produce tick-identical view histories — the determinism contract the
+test suite checks.
+
+Promotion policy: when the primary is believed down, the live backup
+with the highest applied version wins; ties break by placement order.
+This is the classic "most up-to-date survivor" rule — because writes
+are acknowledged only after being applied at every live backup, the
+winner is guaranteed to hold every acknowledged write.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..kernel.waiting import Guard, Ready, Waitable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+    from ..kernel.process import Process
+
+
+class ViewEventGuard(Guard):
+    """Ready when the view logged transitions beyond ``seen``.
+
+    The monitor daemon selects on this alongside the heartbeat and fault
+    event guards: a replica marked down by a *failed call* (not only by a
+    ping) wakes the monitor immediately, so a false suspicion is repaired
+    — or a real primary death promoted — without waiting for the next
+    heartbeat verdict change.
+    """
+
+    def __init__(self, view: "ReplicaView", seen: int) -> None:
+        self.view = view
+        self.seen = seen
+
+    def poll(self, kernel: "Kernel") -> Ready | None:
+        count = self.view.change_count
+        return Ready(count) if count > self.seen else None
+
+    def commit(self, kernel: "Kernel", proc: "Process", ready: Ready) -> int:
+        return ready.value
+
+    def waitables(self) -> Iterable[Waitable]:
+        return (self.view.changes,)
+
+    def describe(self) -> str:
+        return f"view-events(>{self.seen})"
+
+
+class ReplicaView:
+    """Membership, per-replica progress and leadership for one object."""
+
+    def __init__(self, kernel: "Kernel", names: list[str]) -> None:
+        self.kernel = kernel
+        #: Replica names in placement order (tie-break for promotion).
+        self.order = list(names)
+        #: Liveness verdict per replica: "up" | "down".
+        self.status = {name: "up" for name in self.order}
+        #: Highest write version each replica is known to have applied.
+        self.versions = {name: 0 for name in self.order}
+        #: The replica write calls are directed at.
+        self.primary = self.order[0]
+        #: Highest acknowledged write version.
+        self.version = 0
+        #: (tick, event, replica, version-at-event) per change; events are
+        #: "down", "rejoin", "promote".
+        self.transitions: list[tuple[int, str, str, int]] = []
+        #: Monotone transition count, and the waitable the view monitor
+        #: blocks on to observe changes made by other processes.
+        self.change_count = 0
+        self.changes = Waitable()
+
+    # -- queries ----------------------------------------------------------
+
+    def is_up(self, name: str) -> bool:
+        return self.status[name] == "up"
+
+    def live(self) -> list[str]:
+        return [name for name in self.order if self.status[name] == "up"]
+
+    def live_backups(self) -> list[str]:
+        return [name for name in self.live() if name != self.primary]
+
+    def lag(self, name: str) -> int:
+        """How many acknowledged writes ``name`` has not applied yet."""
+        return self.version - self.versions[name]
+
+    # -- mutations --------------------------------------------------------
+
+    def _record(self, event: str, name: str) -> None:
+        self.transitions.append(
+            (self.kernel.clock.now, event, name, self.versions[name])
+        )
+        self.change_count += 1
+        self.kernel.notify(self.changes)
+
+    def mark_down(self, name: str) -> None:
+        if self.status[name] == "down":
+            return
+        self.status[name] = "down"
+        self._record("down", name)
+        self.kernel.stats.bump("replication_suspicions")
+
+    def mark_up(self, name: str) -> None:
+        if self.status[name] == "up":
+            return
+        self.status[name] = "up"
+        self._record("rejoin", name)
+        self.kernel.stats.bump("replication_rejoins")
+
+    def mark_applied(self, name: str, version: int) -> None:
+        if version > self.versions[name]:
+            self.versions[name] = version
+
+    def commit(self, version: int) -> None:
+        """Acknowledge a write: versions up to ``version`` are durable."""
+        if version > self.version:
+            self.version = version
+
+    def promote(self) -> str | None:
+        """Re-elect if the primary is down; returns the primary, or None.
+
+        Chooses the live backup with the highest applied version
+        (placement order breaks ties).  A live primary is left in place;
+        with no live replica at all, leadership is vacant and ``None``
+        is returned.
+        """
+        if self.status[self.primary] == "up":
+            return self.primary
+        candidates = self.live()
+        if not candidates:
+            return None
+        best = max(
+            candidates,
+            key=lambda n: (self.versions[n], -self.order.index(n)),
+        )
+        self.primary = best
+        self._record("promote", best)
+        self.kernel.stats.bump("replication_promotions")
+        return best

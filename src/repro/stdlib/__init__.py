@@ -8,6 +8,7 @@
 * :class:`DiskScheduler` — SCAN via run-time guard priorities.
 * :class:`Barrier`, :class:`ResourceAllocator` — pure manager combining.
 * :class:`Supervisor` — crash recovery for watched objects (repro.faults).
+* :class:`KVStore` — a writable mapping, the canonical replication target.
 """
 
 from .alarm_clock import AlarmClock
@@ -15,6 +16,7 @@ from .barrier import Barrier
 from .bounded_buffer import BoundedBuffer
 from .dictionary import Dictionary
 from .disk_scheduler import DiskScheduler
+from .kv_store import KVStore
 from .parallel_buffer import ParallelBuffer
 from .readers_writers import Database
 from .resource_allocator import ResourceAllocator
@@ -33,4 +35,5 @@ __all__ = [
     "Barrier",
     "ResourceAllocator",
     "Supervisor",
+    "KVStore",
 ]

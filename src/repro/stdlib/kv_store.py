@@ -1,0 +1,75 @@
+"""A writable key→value store: the canonical replication target.
+
+The paper's :class:`~repro.stdlib.Dictionary` is read-only (plus
+combining); replication needs an object whose entries *mutate* shared
+data so write forwarding and convergence are observable.  ``KVStore``
+keeps a plain mapping and exposes idempotent write entries (``put`` and
+``delete`` are last-writer-wins), which is exactly the contract
+at-least-once replication wants: re-applying a forwarded or re-queued
+write leaves the same state.
+
+No manager: every entry runs unmanaged (a server process per call), so
+the store is maximally concurrent and all ordering comes from the
+replication layer's version sequencing.  The ``ping`` entry lets a
+:class:`~repro.faults.Heartbeat` watch the store directly, without a
+co-located :class:`~repro.faults.Beacon`.
+"""
+
+from __future__ import annotations
+
+from ..core import AlpsObject, entry
+from ..kernel.syscalls import Charge
+
+
+class KVStore(AlpsObject):
+    """``object KVStore`` — a mutable mapping with chargeable work.
+
+    Configuration: ``data`` (initial mapping), ``read_work`` /
+    ``write_work`` (ticks one get / one put-or-delete takes).
+    """
+
+    def setup(
+        self,
+        data: dict | None = None,
+        read_work: int = 0,
+        write_work: int = 0,
+    ) -> None:
+        self.data = dict(data or {})
+        self.read_work = read_work
+        self.write_work = write_work
+        #: Operation counters (tests/benches).
+        self.reads_served = 0
+        self.writes_applied = 0
+
+    @entry(returns=1)
+    def get(self, key):
+        """Return the value stored under ``key`` (None when absent)."""
+        if self.read_work:
+            yield Charge(self.read_work, label="get")
+        self.reads_served += 1
+        return self.data.get(key)
+
+    @entry(returns=1)
+    def put(self, key, value):
+        """Store ``value`` under ``key``; returns the value (idempotent)."""
+        if self.write_work:
+            yield Charge(self.write_work, label="put")
+        self.data[key] = value
+        self.writes_applied += 1
+        return value
+
+    @entry(returns=1)
+    def delete(self, key):
+        """Remove ``key``; returns the removed value (idempotent)."""
+        if self.write_work:
+            yield Charge(self.write_work, label="delete")
+        self.writes_applied += 1
+        return self.data.pop(key, None)
+
+    @entry(returns=1)
+    def size(self):
+        return len(self.data)
+
+    @entry(returns=1)
+    def ping(self):
+        return "ok"

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..core import AlpsObject, entry, manager_process
+from ..errors import ObjectModelError
 from ..faults.runtime import FaultRuntime
 from ..kernel.syscalls import Delay
 
@@ -48,7 +49,29 @@ class Supervisor(AlpsObject):
         self.restarts: list[tuple[int, str, int]] = []
 
     def watch(self, obj: Any) -> Any:
-        """Supervise ``obj``: its interrupted calls survive crashes."""
+        """Supervise ``obj``: its interrupted calls survive crashes.
+
+        ``obj`` must already be placed on a node (an unplaced object
+        lives outside the failure model, so there is nothing to recover)
+        and must not already be watched — both cases raise
+        :class:`~repro.errors.ObjectModelError` instead of silently
+        overwriting the watch table.
+        """
+        if getattr(obj, "node", None) is None:
+            raise ObjectModelError(
+                f"{self.alps_name}: cannot watch {obj.alps_name!r} — place "
+                "it on a node first (unplaced objects cannot crash)"
+            )
+        existing = self.watched.get(obj.alps_name)
+        if existing is not None:
+            detail = (
+                "it is already watched"
+                if existing is obj
+                else "another watched object already uses that name"
+            )
+            raise ObjectModelError(
+                f"{self.alps_name}: cannot watch {obj.alps_name!r} — {detail}"
+            )
         self.watched[obj.alps_name] = obj
         self.faults.supervise(obj)
         return obj

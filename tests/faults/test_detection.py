@@ -210,3 +210,62 @@ class TestHeartbeat:
         kernel.run()
         assert hb.status == {"n1": "up", "n2": "up"}
         assert len(hb.transitions) == 2  # unknown -> up, once each
+
+    def test_probes_ping_concurrently(self):
+        # Three dead targets, timeout 30: concurrent probes all record
+        # "down" at tick 30.  A sequential monitor would serialize the
+        # timeouts (30, 60, 90) and stretch every later verdict.
+        kernel = Kernel(costs=FREE)
+        net = ring(kernel, 4)
+        beacons = {
+            n: net.node(n).place(Beacon(kernel, name=f"b_{n}"))
+            for n in ("n1", "n2", "n3")
+        }
+        install(
+            kernel, net,
+            FaultPlan(detection_delay=500)  # kernel detector never helps
+            .crash_node("n1", at=0).crash_node("n2", at=0).crash_node("n3", at=0),
+        )
+        hb = Heartbeat(kernel, interval=20, timeout=30, rounds=1)
+        for name, beacon in beacons.items():
+            hb.watch(name, beacon)
+        hb.start()
+        kernel.run()
+        assert [(t, v) for t, _, v in hb.transitions] == [(30, "down")] * 3
+
+    def test_double_start_rejected(self):
+        from repro.errors import KernelError
+
+        kernel = Kernel(costs=FREE)
+        net = ring(kernel, 3)
+        install(kernel, net, FaultPlan())
+        hb = Heartbeat(kernel, rounds=2)
+        hb.watch("n1", net.node("n1").place(Beacon(kernel, name="b1")))
+        hb.start()
+        with pytest.raises(KernelError):
+            hb.start()
+
+    def test_stop_kills_unbounded_monitor(self):
+        kernel = Kernel(costs=FREE)
+        net = ring(kernel, 3)
+        install(kernel, net, FaultPlan())
+        hb = Heartbeat(kernel, interval=25, timeout=15, rounds=None)
+        hb.watch("n1", net.node("n1").place(Beacon(kernel, name="b1")))
+        hb.start()
+        kernel.post(200, hb.stop)
+        kernel.run(until=1000)
+        # The daemon is gone: virtual time stops advancing with it.
+        assert hb.process is None
+        assert hb.is_up("n1")
+        rounds_run = kernel.stats.custom["heartbeat_up"]
+        assert rounds_run == 1  # one unknown->up transition, then steady
+
+    def test_stop_returns_whether_monitor_was_running(self):
+        kernel = Kernel(costs=FREE)
+        hb = Heartbeat(kernel, rounds=1)
+        assert hb.stop() is False  # never started
+        hb.watch("x", Beacon(kernel, name="b"))
+        hb.start()
+        assert hb.stop() is True
+        assert hb.stop() is False  # idempotent
+        hb.start()  # restartable after a stop

@@ -115,6 +115,59 @@ class TestRetry:
         assert len(outcome) == 1
         assert "retries" not in kernel.stats.custom
 
+    def test_max_attempts_one_means_no_retry(self):
+        # Degenerate policy: exactly the bare call — first failure is
+        # final, no backoff sleep, no retry accounting.
+        kernel, net, d, _ = scenario(
+            FaultPlan(detection_delay=10).crash_node("n1", at=0)
+        )
+        outcome = []
+
+        def client():
+            yield Delay(5)
+            try:
+                yield from retry(
+                    lambda: d.search("a", timeout=50),
+                    FixedBackoff(delay=20, max_attempts=1),
+                )
+            except RemoteCallError:
+                outcome.append(kernel.clock.now)
+
+        net.node("n0").spawn(client, name="client")
+        kernel.run()
+        assert outcome == [15]  # issue at 5 + detection_delay 10, no backoff
+        assert "retries" not in kernel.stats.custom
+        assert kernel.stats.custom["retry_exhausted"] == 1
+
+    def test_jittered_schedule_is_identical_across_runs(self):
+        # Same retry seed, two full runs: every retry lands on the same
+        # tick, so the whole recovery timeline replays exactly.
+        def run():
+            kernel, net, d, _ = scenario(
+                FaultPlan(detection_delay=10).crash_node("n1", at=20, restart_at=300)
+            )
+            kernel.post(310, d.restart)
+            done = []
+
+            def client():
+                yield Delay(30)
+                value = yield from retry(
+                    lambda: d.search("a", timeout=40),
+                    ExponentialBackoff(base=25, max_attempts=8, jitter=15),
+                    seed=9,
+                )
+                done.append((value, kernel.clock.now))
+
+            net.node("n0").spawn(client, name="client")
+            kernel.run()
+            retries = [e.time for e in kernel.trace if e.kind == "retry"]
+            return done, retries
+
+        first, second = run(), run()
+        assert first == second
+        assert first[0][0][0] == 42
+        assert len(first[1]) >= 2  # the jittered schedule was exercised
+
     def test_backoff_schedule_is_seeded(self):
         policy = ExponentialBackoff(base=10, max_attempts=6, jitter=20)
         import random
@@ -236,3 +289,26 @@ class TestSupervisor:
         kernel = Kernel(costs=FREE)
         with pytest.raises(TypeError):
             Supervisor(kernel, name="sup")
+
+    def test_watch_rejects_unplaced_object(self):
+        from repro.errors import ObjectModelError
+        from repro.stdlib import Dictionary
+
+        kernel, net, d, runtime = scenario(FaultPlan())
+        sup = net.node("n3").place(Supervisor(kernel, name="sup", faults=runtime))
+        stray = Dictionary(kernel, name="stray", entries={})
+        with pytest.raises(ObjectModelError, match="place it on a node"):
+            sup.watch(stray)
+
+    def test_watch_rejects_double_watch_and_name_clash(self):
+        from repro.errors import ObjectModelError
+        from repro.stdlib import Dictionary
+
+        kernel, net, d, runtime = scenario(FaultPlan())
+        sup = net.node("n3").place(Supervisor(kernel, name="sup", faults=runtime))
+        sup.watch(d)
+        with pytest.raises(ObjectModelError, match="already watch"):
+            sup.watch(d)
+        impostor = net.node("n2").place(Dictionary(kernel, name="d", entries={}))
+        with pytest.raises(ObjectModelError, match="name"):
+            sup.watch(impostor)

@@ -1,0 +1,108 @@
+"""Shared builders for the replication test suite.
+
+Every scenario runs a :class:`~repro.stdlib.KVStore` replicated over a
+6-node ring, with the Supervisor (when used) on ``n5`` — a node no
+scenario ever crashes, mirroring the paper's assumption that the
+recovery manager itself survives.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RemoteCallError
+from repro.faults import FaultPlan, install
+from repro.kernel import Delay, Kernel
+from repro.kernel.costs import FREE
+from repro.net import ring
+from repro.replication import Replicated
+from repro.stdlib import KVStore, Supervisor
+
+#: Default replica homes (distinct, Supervisor-free nodes of the ring).
+REPLICA_NODES = ("n0", "n2", "n4")
+
+
+def build(
+    plan: FaultPlan | None = None,
+    *,
+    replicas: int = 3,
+    supervised: bool = True,
+    seed: int = 0,
+    trace: bool = True,
+    **rep_kwargs,
+):
+    """Kernel + ring(6) + fault runtime + Supervisor + replicated KVStore."""
+    kernel = Kernel(costs=FREE, seed=seed, trace=trace)
+    net = ring(kernel, 6)
+    runtime = install(kernel, net, plan or FaultPlan(detection_delay=20))
+    sup = None
+    if supervised:
+        sup = net.node("n5").place(Supervisor(kernel, name="sup", faults=runtime))
+    rep_kwargs.setdefault("nodes", list(REPLICA_NODES)[:replicas])
+    rep_kwargs.setdefault("heartbeat_interval", 40)
+    rep_kwargs.setdefault("call_timeout", 60)
+    rep_kwargs.setdefault("writes", ("put", "delete"))
+    rep = Replicated(
+        lambda name: KVStore(kernel, name=name),
+        net,
+        replicas,
+        supervisor=sup,
+        **rep_kwargs,
+    )
+    return kernel, net, rep, runtime, sup
+
+
+def _spawn(kernel, net, body, name, node):
+    """Unplaced by default; on ``node``, calls traverse the faulty network."""
+    if node is None:
+        kernel.spawn(body, name=name)
+    else:
+        net.node(node).spawn(body, name=name)
+
+
+def spawn_writer(kernel, rep, count, *, gap=37, keys=5, start=0, name="writer",
+                 net=None, node=None):
+    """Write ``k<i % keys> = i`` every ``gap`` ticks; returns the outcome lists."""
+    acked: list[int] = []
+    failed: list[int] = []
+
+    def body():
+        if start:
+            yield Delay(start)
+        for i in range(count):
+            try:
+                yield from rep.put(f"k{i % keys}", i)
+                acked.append(i)
+            except RemoteCallError:
+                failed.append(i)
+            yield Delay(gap)
+
+    _spawn(kernel, net, body, name, node)
+    return acked, failed
+
+
+def spawn_reader(kernel, rep, count, *, gap=41, keys=5, start=10, name="reader",
+                 net=None, node=None):
+    """Read round-robin keys; returns (successes, failures) tick lists."""
+    ok: list[int] = []
+    failed: list[int] = []
+
+    def body():
+        if start:
+            yield Delay(start)
+        for i in range(count):
+            try:
+                yield from rep.get(f"k{i % keys}")
+                ok.append(kernel.clock.now)
+            except RemoteCallError:
+                failed.append(kernel.clock.now)
+            yield Delay(gap)
+
+    _spawn(kernel, net, body, name, node)
+    return ok, failed
+
+
+def last_acked_values(acked, keys=5):
+    """The k→value mapping every replica must converge to."""
+    expected = {}
+    for i in acked:
+        expected[f"k{i % keys}"] = i
+    return expected

@@ -1,0 +1,82 @@
+"""Fault-aware placement: choose_nodes and the wrapper's placement rules."""
+
+import pytest
+
+from repro.errors import NetworkError, ReplicationError
+from repro.faults import Heartbeat
+from repro.kernel import Kernel
+from repro.kernel.costs import FREE
+from repro.net import choose_nodes, ring
+from repro.replication import Replicated, place_replicated
+from repro.stdlib import KVStore
+
+from .scenarios import build
+
+
+def fresh(n=4):
+    kernel = Kernel(costs=FREE)
+    return kernel, ring(kernel, n)
+
+
+class TestChooseNodes:
+    def test_prefers_lightly_loaded_nodes(self):
+        kernel, net = fresh()
+        net.node("n0").place(KVStore(kernel, name="a"))
+        net.node("n0").place(KVStore(kernel, name="b"))
+        net.node("n1").place(KVStore(kernel, name="c"))
+        chosen = [n.name for n in choose_nodes(net, 2)]
+        assert chosen == ["n2", "n3"]  # empty nodes first, insertion order
+
+    def test_avoid_and_exhaustion(self):
+        kernel, net = fresh()
+        chosen = [n.name for n in choose_nodes(net, 2, avoid=("n0", "n1"))]
+        assert chosen == ["n2", "n3"]
+        with pytest.raises(NetworkError):
+            choose_nodes(net, 3, avoid=("n0", "n1"))
+        with pytest.raises(NetworkError):
+            choose_nodes(net, 0)
+
+    def test_heartbeat_verdict_demotes_nodes(self):
+        kernel, net = fresh()
+        hb = Heartbeat(kernel)
+        hb.status["n0"] = "down"  # verdict as a detector would record it
+        chosen = [n.name for n in choose_nodes(net, 3, heartbeat=hb)]
+        assert chosen == ["n1", "n2", "n3"]
+        # Down nodes rank last but stay eligible (degraded placement
+        # beats refusing outright when every node is suspect).
+        assert [n.name for n in choose_nodes(net, 4, heartbeat=hb)][-1] == "n0"
+
+
+class TestWrapperPlacement:
+    def test_automatic_placement_is_distinct_and_respects_avoid(self):
+        kernel, net, rep, runtime, sup = build(
+            supervised=False, nodes=None, avoid=("n5",)
+        )
+        homes = [rep.node_of(n) for n in rep.view.order]
+        assert len(set(homes)) == 3
+        assert "n5" not in homes
+
+    def test_colocated_explicit_nodes_rejected(self):
+        with pytest.raises(ReplicationError):
+            build(supervised=False, nodes=["n0", "n0", "n2"])
+
+    def test_replica_count_and_writes_validated(self):
+        with pytest.raises(ReplicationError):
+            build(replicas=0, nodes=[])
+        with pytest.raises(ReplicationError):
+            build(supervised=False, writes=("put", "no_such_entry"))
+
+    def test_factory_must_pass_name_through(self):
+        kernel = Kernel(costs=FREE)
+        net = ring(kernel, 4)
+        with pytest.raises(ReplicationError):
+            Replicated(lambda name: KVStore(kernel, name="fixed"), net, 2)
+
+    def test_place_replicated_helper(self):
+        kernel, net = fresh()
+        placed = place_replicated(
+            lambda name: KVStore(kernel, name=name), net, 3, name="kv"
+        )
+        assert [obj.alps_name for obj in placed] == ["kv.r0", "kv.r1", "kv.r2"]
+        homes = {obj.node.name for obj in placed}
+        assert len(homes) == 3

@@ -93,7 +93,7 @@ def drive(loss: float, policy_name: str) -> dict:
         "completed_frac": round(len(completed) / total, 3),
         "goodput_per_ktick": round(len(completed) * 1000 / span, 1),
         "p95_response": p95,
-        "retries": kernel.stats.custom.get("retries", 0),
+        "retries": kernel.metrics.value("retry.attempts"),
         "virtual_time": kernel.clock.now,
     }
 

@@ -30,7 +30,7 @@ from repro.net import ring
 from repro.replication import Replicated
 from repro.stdlib import KVStore, Supervisor
 
-from harness import print_table, write_results
+from harness import attach_chrome_trace, print_table, write_results
 
 SEED = 7
 HORIZON = 4000      # virtual ticks simulated per cell
@@ -53,8 +53,10 @@ PLANS = {
 }
 
 
-def drive(replicas: int, plan_name: str) -> dict:
+def drive(replicas: int, plan_name: str, trace: bool = False) -> dict:
     kernel = Kernel(costs=FREE, seed=SEED)
+    if trace:
+        attach_chrome_trace(kernel, "e13")
     net = ring(kernel, 6)
     runtime = install(kernel, net, PLANS[plan_name]())
     sup = net.node("n5").place(Supervisor(kernel, name="sup", faults=runtime))
@@ -105,6 +107,8 @@ def drive(replicas: int, plan_name: str) -> dict:
     net.node("n1").spawn(reader(7, 45), name="reader1")
     net.node("n3").spawn(reader(13, 51), name="reader3")
     kernel.run(until=HORIZON)
+    if trace:
+        kernel.obs.close()
 
     # Durability audit: every acknowledged write must be present on every
     # replica the view believes is live.
@@ -114,7 +118,6 @@ def drive(replicas: int, plan_name: str) -> dict:
         for key, value in acked.items():
             if data.get(key) != value:
                 lost += 1
-    stats = kernel.stats.custom
     attempted = counts["ok"] + counts["failed"]
     staleness = rep.staleness()
     return {
@@ -124,8 +127,8 @@ def drive(replicas: int, plan_name: str) -> dict:
         "failed": counts["failed"],
         "completed_frac": round(counts["ok"] / max(1, attempted), 3),
         "goodput_per_ktick": round(counts["ok"] * 1000 / HORIZON, 1),
-        "failovers": stats.get("replication_failovers", 0),
-        "promotions": stats.get("replication_promotions", 0),
+        "failovers": kernel.metrics.value("replication.failovers"),
+        "promotions": kernel.metrics.value("replication.promotions"),
         "stale_max": max(staleness) if staleness else 0,
         "lost_acked": lost,
     }
@@ -137,6 +140,12 @@ def run_experiment() -> list[dict]:
         for plan in PLANS
         for replicas in (1, 2, 3)
     ]
+
+
+def cell_row(rows: list[dict], replicas: int, plan: str) -> dict:
+    return next(
+        r for r in rows if r["replicas"] == replicas and r["plan"] == plan
+    )
 
 
 def test_e13_table(benchmark, capsys):
@@ -151,6 +160,13 @@ def test_e13_table(benchmark, capsys):
     write_results(
         "e13", rows, seed=SEED,
         note=f"plans {tuple(PLANS)}, replicas (1, 2, 3), timeout {TIMEOUT}",
+    )
+    # Trace artifact: re-run the headline crash cell with spans and the
+    # Chrome sink attached (TRACE_E13.json, openable in Perfetto).  The
+    # measured table rows above stay span-free.
+    traced = drive(2, "crash", trace=True)
+    assert traced == cell_row(rows, 2, "crash"), (
+        "span recording changed the E13 crash-cell results"
     )
     cell = {(r["replicas"], r["plan"]): r for r in rows}
 

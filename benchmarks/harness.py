@@ -76,6 +76,40 @@ def write_results(
     return path
 
 
+def metrics_snapshot(kernel) -> dict[str, Any]:
+    """One merged metrics dict: kernel counters plus the typed registry.
+
+    ``custom`` keys mirrored by a typed counter (declared with
+    ``legacy=``) are suppressed in favour of the dotted registry name,
+    so every number appears exactly once.
+    """
+    merged = kernel.stats.snapshot()
+    custom = merged.pop("custom", {})
+    mirrored = kernel.metrics.legacy_keys
+    for key, value in custom.items():
+        if key not in mirrored:
+            merged[key] = value
+    merged.update(kernel.metrics.snapshot())
+    return merged
+
+
+def attach_chrome_trace(kernel, experiment: str, out_dir: str | None = None) -> str:
+    """Attach a Chrome ``trace_event`` sink writing ``TRACE_<EXPERIMENT>.json``.
+
+    The file lands next to the ``BENCH_*.json`` results (same
+    ``REPRO_BENCH_DIR`` override) and opens directly in Perfetto
+    (https://ui.perfetto.dev) or ``chrome://tracing``.  Attaching the
+    sink enables span recording; call ``kernel.obs.close()`` after the
+    run to flush the file.  Returns the path that will be written.
+    """
+    from repro.obs import ChromeTraceSink
+
+    out_dir = out_dir or os.environ.get("REPRO_BENCH_DIR") or "."
+    path = os.path.join(out_dir, f"TRACE_{experiment.upper()}.json")
+    kernel.obs.add_sink(ChromeTraceSink(path))
+    return path
+
+
 def _git_rev() -> str:
     try:
         return (

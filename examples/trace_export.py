@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Export a failover run as a Chrome trace: ``repro.obs`` end to end.
+
+The observability layer records one span tree per entry call — client
+issue, RPC request hop, manager phases, body execution, RPC response —
+and stitches replicated writes across the sequencer: the client's
+``replicated`` span parents the sequencer's ``replication`` span, which
+parents the per-replica apply and forward calls.  Heartbeat probe spans
+and view-reconcile spans connect failure *detection* to *promotion* and
+*catch-up* on the same timeline.
+
+This example runs a small crash-and-failover scenario (three KVStore
+replicas on a 6-ring, the primary's node dies mid-run and restarts
+later) with a :class:`~repro.obs.ChromeTraceSink` attached, then prints
+what the span log shows: how many connected write trees survived the
+failover, and the detection → promotion chain.
+
+Open the output in a trace viewer::
+
+    python examples/trace_export.py --trace-out run.json
+    # then load run.json at https://ui.perfetto.dev (or chrome://tracing)
+
+Every track is one ALPS process; spans nest by parent links; the
+timeline axis is virtual ticks (rendered as microseconds).
+"""
+
+import argparse
+import json
+
+from repro import Kernel
+from repro.errors import RemoteCallError
+from repro.faults import FaultPlan, install
+from repro.kernel import Delay
+from repro.kernel.costs import FREE
+from repro.net import ring
+from repro.obs import ChromeTraceSink, validate_chrome_trace
+from repro.replication import Replicated
+from repro.stdlib import KVStore, Supervisor
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace-out", default="run.json",
+        help="Chrome trace_event output path (default: run.json)",
+    )
+    args = parser.parse_args()
+
+    kernel = Kernel(costs=FREE, seed=42)
+    sink = kernel.obs.add_sink(ChromeTraceSink(args.trace_out))
+    net = ring(kernel, 6)
+
+    faults = install(
+        kernel,
+        net,
+        FaultPlan(seed=42, detection_delay=15)
+        .crash_node("n0", at=400, restart_at=1200),
+    )
+    sup = net.node("n5").place(Supervisor(kernel, name="sup", faults=faults))
+    rep = Replicated(
+        lambda name: KVStore(kernel, name=name),
+        net,
+        replicas=3,
+        name="kv",
+        writes=("put", "delete"),
+        nodes=["n0", "n2", "n4"],
+        supervisor=sup,
+        call_timeout=60,
+        heartbeat_interval=40,
+        seed=42,
+    )
+
+    acked = [0]
+
+    def writer():
+        for i in range(16):
+            try:
+                yield from rep.put(f"k{i % 4}", i)
+                acked[0] += 1
+            except RemoteCallError:
+                pass
+            yield Delay(110)
+
+    def reader():
+        for i in range(12):
+            yield Delay(140)
+            try:
+                yield from rep.get(f"k{i % 4}")
+            except RemoteCallError:
+                pass
+
+    kernel.spawn(writer, name="writer")
+    net.node("n1").spawn(reader, name="reader")
+    kernel.run(until=2400)
+    kernel.obs.close()
+
+    # What the exported timeline contains.
+    obs = kernel.obs
+    writes = obs.find_spans(kind="replicated")
+    connected = 0
+    for write in writes:
+        seq = [s for s in obs.children_of(write.span_id) if s.kind == "replication"]
+        calls = [
+            c
+            for s in seq
+            for c in obs.children_of(s.span_id)
+            if c.kind == "call"
+        ]
+        if seq and calls and all(obs.children_of(c.span_id) for c in calls):
+            connected += 1
+    print(f"acknowledged writes : {acked[0]}")
+    print(f"write span trees    : {len(writes)} "
+          f"({connected} connected client → sequencer → call → phases)")
+
+    probes = {s.span_id: s for s in obs.find_spans(kind="heartbeat")}
+    for t in rep.view.transitions:
+        tick, event, name, version = t
+        via = getattr(t, "span_id", None)
+        parent = obs.spans and next(
+            (s for s in obs.spans if s.span_id == via), None
+        )
+        chain = ""
+        if parent is not None and parent.parent_id in probes:
+            chain = f" ← probe {probes[parent.parent_id].name!r}"
+        print(f"  t={tick:4} view {event:8} {name} v{version}"
+              f" (span {via}{chain})")
+
+    payload = json.load(open(args.trace_out, encoding="utf-8"))
+    problems = validate_chrome_trace(payload)
+    print(f"trace file          : {args.trace_out} "
+          f"({len(payload['traceEvents'])} events, "
+          f"{'OK' if not problems else problems})")
+    print(f"open it at https://ui.perfetto.dev")
+    assert not problems
+    assert connected == acked[0] > 0
+    return sink
+
+
+if __name__ == "__main__":
+    main()

@@ -187,6 +187,9 @@ class Send(Syscall):
             return
         if channel.full:
             # Bounded-channel extension: block the sender until space frees.
+            kernel.metrics.counter(
+                "channels.blocked_sends", "Sends that blocked on a full channel"
+            ).inc()
             proc.state = ProcessState.BLOCKED
             proc.blocked_on = f"send({channel.name})"
             channel._blocked_senders.append((proc, self.values))

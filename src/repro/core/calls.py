@@ -71,6 +71,7 @@ class Call:
         "timeout_cancel",
         "interrupted",
         "delivery_epoch",
+        "span",
     )
 
     def __init__(self, obj: Any, spec: "EntrySpec", args: tuple, caller: "Process") -> None:
@@ -120,6 +121,9 @@ class Call:
         #: Bumped whenever a crash invalidates an in-flight request
         #: delivery; stale delivery events compare epochs and drop out.
         self.delivery_epoch = 0
+        #: Root observability span of this call, while open; None when
+        #: spans are disabled (the common case) or once completed.
+        self.span = None
 
     # -- views used by the manager ---------------------------------------
 

@@ -152,6 +152,9 @@ class ServerPool:
         # Server processes live where the object lives; a node crash must
         # take executing bodies down with it.
         proc.node = getattr(call.obj, "node", None)
+        # Entry calls issued from inside the body (nested calls) parent
+        # under this call's span; None whenever spans are disabled.
+        proc.span = call.span
         call.body_process = proc
 
     def release(self, call: "Call") -> None:

@@ -98,6 +98,8 @@ class EntryCall(Syscall):
         proc.blocked_on = f"call {self.obj.alps_name}.{self.proc_name}"
         # The caller-perceived issue instant — before any network delay.
         call.issued_at = kernel.clock.now
+        if kernel.obs.enabled:
+            kernel.obs.call_issued(call, proc)
         if self.timeout is not None:
             call.timeout = self.timeout
             arm_call_timeout(kernel, call)
@@ -121,6 +123,8 @@ class EntryCall(Syscall):
         request_delay, response_delay = self.obj._call_latency(proc)
         call.response_delay = response_delay
         if request_delay:
+            if call.span is not None:
+                call.span.attrs["request_delay"] = request_delay
             kernel.post(kernel.clock.now + request_delay, deliver)
         else:
             deliver()
@@ -139,6 +143,8 @@ def arm_call_timeout(kernel: "Kernel", call: Call) -> None:
         call.caller_resumed = True
         call.state = CallState.FAILED
         call.finished_at = kernel.clock.now
+        if kernel.obs.enabled:
+            kernel.obs.complete_call(call, status="timeout")
         kernel.trace.record(
             kernel.clock.now,
             "call_timeout",

@@ -277,6 +277,8 @@ class EntryRuntime:
             )
         else:
             self.kernel.schedule_resume(call.caller, value)
+        if self.kernel.obs.enabled:
+            self.kernel.obs.complete_call(call, status="ok")
 
     def fail_caller(self, call: Call, exc: BaseException) -> None:
         """Propagate a body failure to the caller (at most once)."""
@@ -286,6 +288,8 @@ class EntryRuntime:
         call.caller_resumed = True
         if call.timeout_cancel is not None:
             call.timeout_cancel["cancelled"] = True
+        if self.kernel.obs.enabled:
+            self.kernel.obs.complete_call(call, status="error")
         self.kernel.schedule_throw(call.caller, exc)
 
     def record(self, call: Call) -> None:

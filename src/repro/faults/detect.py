@@ -32,6 +32,7 @@ from ..core import AlpsObject, entry
 from ..errors import KernelError, RemoteCallError
 from ..kernel.syscalls import Delay, Par, Select
 from ..kernel.waiting import Guard, Ready, Waitable
+from ..obs.spans import TransitionRecord
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.kernel import Kernel
@@ -103,7 +104,10 @@ class Heartbeat:
         self.targets: dict[str, Any] = {}
         #: Latest verdict per target: "unknown" | "up" | "down".
         self.status: dict[str, str] = {}
-        #: (tick, target, verdict) for every status change.
+        #: (tick, target, verdict) for every status change.  Each record
+        #: compares equal to a plain 3-tuple but also carries the id of
+        #: the probe span that observed it (None with spans disabled), so
+        #: exported failover timelines connect detection to promotion.
         self.transitions: list[tuple[int, str, str]] = []
         #: Monotone count of status changes, and the waitable recovery
         #: daemons block on to observe them.
@@ -154,12 +158,17 @@ class Heartbeat:
         self.kernel.kill_process(proc)
         return True
 
-    def _record(self, name: str, verdict: str) -> None:
+    def _record(self, name: str, verdict: str, span_id: int | None = None) -> None:
         if self.status.get(name) == verdict:
             return
-        self.transitions.append((self.kernel.clock.now, name, verdict))
+        self.transitions.append(
+            TransitionRecord((self.kernel.clock.now, name, verdict), span_id=span_id)
+        )
         self.status[name] = verdict
-        self.kernel.stats.bump(f"heartbeat_{verdict}")
+        self.kernel.metrics.counter(
+            f"heartbeat.{verdict}", f"Heartbeat {verdict} transitions",
+            legacy=f"heartbeat_{verdict}",
+        ).inc()
         self.event_count += 1
         self.kernel.notify(self.events)
 
@@ -168,12 +177,29 @@ class Heartbeat:
         obj = self.targets[name]
 
         def body():
+            obs = self.kernel.obs
+            span = None
+            if obs.enabled:
+                # The ping call below parents under the probe span (via
+                # the process's span link), and the resulting verdict
+                # record carries the probe's id into the exported
+                # timeline: detection connects to promotion/catch-up.
+                # ``current_process`` (not a ``Self`` syscall) keeps the
+                # event schedule identical with spans on or off.
+                me = self.kernel.current_process
+                span = obs.begin("heartbeat", f"probe {name}", process=me.name)
+                me.span = span
+            sid = None if span is None else span.span_id
             try:
                 yield obj.ping(timeout=self.timeout)
             except RemoteCallError:
-                self._record(name, "down")
+                self._record(name, "down", span_id=sid)
+                if span is not None:
+                    obs.end(span, verdict="down")
             else:
-                self._record(name, "up")
+                self._record(name, "up", span_id=sid)
+                if span is not None:
+                    obs.end(span, verdict="up")
 
         return body
 

@@ -108,9 +108,15 @@ def retry(call_factory: Callable[[], Any], policy: RetryPolicy, seed: int = 0):
             try:
                 backoff = next(schedule)
             except StopIteration:
-                kernel.stats.bump("retry_exhausted")
+                kernel.metrics.counter(
+                    "retry.exhausted", "Retry loops that ran out of attempts",
+                    legacy="retry_exhausted",
+                ).inc()
                 raise exc from None
-            kernel.stats.bump("retries")
+            kernel.metrics.counter(
+                "retry.attempts", "Re-attempts after RemoteCallError",
+                legacy="retries",
+            ).inc()
             kernel.trace.record(
                 kernel.clock.now, "retry", proc.name,
                 entry=call.proc_name, obj=call.obj.alps_name,
@@ -121,5 +127,8 @@ def retry(call_factory: Callable[[], Any], policy: RetryPolicy, seed: int = 0):
                 yield Delay(backoff)
             continue
         if attempt > 1:
-            kernel.stats.bump("retried_successes")
+            kernel.metrics.counter(
+                "retry.successes", "Calls that succeeded after retrying",
+                legacy="retried_successes",
+            ).inc()
         return result

@@ -99,6 +99,33 @@ class FaultRuntime:
         #: Objects whose interrupted calls a Supervisor will re-queue.
         self._supervised: set[Any] = set()
         self._interrupted: dict[Any, list[Call]] = {}
+        # Typed metrics (legacy keys keep stats.custom/snapshot stable).
+        m = kernel.metrics
+        self.c_node_crashes = m.counter(
+            "faults.node_crashes", "Node crash transitions", legacy="node_crashes")
+        self.c_node_restarts = m.counter(
+            "faults.node_restarts", "Node restart transitions", legacy="node_restarts")
+        self.c_calls_to_down = m.counter(
+            "faults.calls_to_down_target", "Calls issued to a crashed object/node",
+            legacy="calls_to_down_target")
+        self.c_dropped_requests = m.counter(
+            "faults.dropped_requests", "Entry-call request legs lost",
+            legacy="dropped_requests")
+        self.c_dropped_responses = m.counter(
+            "faults.dropped_responses", "Entry-call response legs lost",
+            legacy="dropped_responses")
+        self.c_failed_calls = m.counter(
+            "faults.failed_calls", "Calls failed with RemoteCallError",
+            legacy="failed_calls")
+        self.c_dropped_messages = m.counter(
+            "faults.dropped_messages", "NetSend messages lost",
+            legacy="dropped_messages")
+        self.c_duplicated_messages = m.counter(
+            "faults.duplicated_messages", "NetSend messages delivered twice",
+            legacy="duplicated_messages")
+        self.c_requeued_calls = m.counter(
+            "faults.requeued_calls", "Interrupted calls re-queued after restart",
+            legacy="requeued_calls")
 
     # ------------------------------------------------------------------
     # Scheduling the plan
@@ -189,7 +216,7 @@ class FaultRuntime:
         kernel.trace.record(
             kernel.clock.now, "crash", name, killed=killed, restart_at=fault.restart_at
         )
-        kernel.stats.bump("node_crashes")
+        self.c_node_crashes.inc()
         for obj in list(node.objects.values()):
             if hasattr(obj, "_runtimes"):
                 self._crash_object(obj, node)
@@ -201,7 +228,7 @@ class FaultRuntime:
         self._down_nodes.discard(fault.node)
         self.epoch += 1
         self.kernel.trace.record(self.kernel.clock.now, "restart", fault.node)
-        self.kernel.stats.bump("node_restarts")
+        self.c_node_restarts.inc()
         # Placed objects stay crashed until something (a Supervisor, or
         # the test harness) calls obj.restart().
         self._bump_events()
@@ -304,7 +331,7 @@ class FaultRuntime:
         if getattr(obj, "_crashed", False) or (
             node is not None and not self.node_up(node.name)
         ):
-            kernel.stats.bump("calls_to_down_target")
+            self.c_calls_to_down.inc()
             self._fail_later(
                 call,
                 f"{obj.alps_name} is down"
@@ -336,7 +363,7 @@ class FaultRuntime:
             return
         dropped, _dup, jitter = self._fate(src.name, node.name, allow_duplicate=False)
         if dropped:
-            kernel.stats.bump("dropped_requests")
+            self.c_dropped_requests.inc()
             kernel.trace.record(
                 now, "drop", caller.name,
                 leg="request", entry=call.entry, obj=obj.alps_name, reason="loss",
@@ -345,6 +372,8 @@ class FaultRuntime:
         call.response_delay = latency
         fire = self._guarded(call, deliver)
         when = now + latency + jitter()
+        if call.span is not None and when > now:
+            call.span.attrs["request_delay"] = when - now
         if when > now:
             kernel.post(when, fire)
         else:
@@ -398,7 +427,7 @@ class FaultRuntime:
         kernel = self.kernel
         latency = self.network.latency_or_none(node, dst)
         if latency is None:
-            kernel.stats.bump("dropped_responses")
+            self.c_dropped_responses.inc()
             kernel.trace.record(
                 kernel.clock.now, "drop", call.caller.name,
                 leg="response", entry=call.entry, obj=obj.alps_name, reason="no route",
@@ -406,7 +435,7 @@ class FaultRuntime:
             return True
         dropped, _dup, jitter = self._fate(node.name, dst.name, allow_duplicate=False)
         if dropped:
-            kernel.stats.bump("dropped_responses")
+            self.c_dropped_responses.inc()
             kernel.trace.record(
                 kernel.clock.now, "drop", call.caller.name,
                 leg="response", entry=call.entry, obj=obj.alps_name, reason="loss",
@@ -431,7 +460,9 @@ class FaultRuntime:
         call.finished_at = self.kernel.clock.now
         if call.timeout_cancel is not None:
             call.timeout_cancel["cancelled"] = True
-        self.kernel.stats.bump("failed_calls")
+        self.c_failed_calls.inc()
+        if self.kernel.obs.enabled:
+            self.kernel.obs.complete_call(call, status="failed")
         self.kernel.schedule_throw(
             call.caller,
             RemoteCallError(reason, entry=call.entry, obj=call.obj.alps_name),
@@ -469,7 +500,7 @@ class FaultRuntime:
         kernel = self.kernel
 
         def drop(reason: str) -> list[int]:
-            kernel.stats.bump("dropped_messages")
+            self.c_dropped_messages.inc()
             kernel.trace.record(
                 kernel.clock.now, "drop", proc.name,
                 leg="message", src=src.name, dst=dst.name, reason=reason,
@@ -486,7 +517,7 @@ class FaultRuntime:
             return drop("loss")
         fates = [latency + jitter()]
         if duplicated:
-            kernel.stats.bump("duplicated_messages")
+            self.c_duplicated_messages.inc()
             fates.append(latency + jitter())
         return fates
 
@@ -572,7 +603,7 @@ class FaultRuntime:
                 return False
             request = latency
             call.response_delay = latency
-        kernel.stats.bump("requeued_calls")
+        self.c_requeued_calls.inc()
         kernel.trace.record(
             kernel.clock.now, "retry", caller.name,
             entry=call.entry, obj=obj.alps_name, requeued=True,

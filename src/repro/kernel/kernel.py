@@ -32,6 +32,7 @@ import random
 from typing import Any, Callable, Iterable
 
 from ..errors import DeadlockError, GuardExhaustedError, KernelError, ProcessError
+from ..obs import MetricsRegistry, Observability
 from .clock import VirtualClock
 from .costs import DEFAULT, CostModel
 from .cpu import CpuPool, PriorityCpuScheduler
@@ -95,6 +96,10 @@ class Kernel:
     trace:
         Enable event tracing (off by default; see
         :class:`~repro.kernel.tracing.Trace`).
+    spans:
+        Enable per-call span recording (off by default; see
+        :class:`~repro.obs.Observability`).  Attaching a sink via
+        ``kernel.obs.add_sink(...)`` also enables it.
     """
 
     def __init__(
@@ -104,6 +109,7 @@ class Kernel:
         seed: int = 0,
         arbitration: str = "ordered",
         trace: bool = False,
+        spans: bool = False,
     ) -> None:
         costs.validate()
         if arbitration not in ("ordered", "random"):
@@ -119,6 +125,13 @@ class Kernel:
         self.arbitration = arbitration
         self.trace = Trace(enabled=trace)
         self.stats = KernelStats()
+        #: Typed metric registry; counters declared with a ``legacy=`` key
+        #: mirror into ``stats.custom`` for pre-registry consumers.
+        self.metrics = MetricsRegistry(legacy=self.stats.custom)
+        #: Span recording and sink fan-out; disabled unless requested.
+        self.obs = Observability(self)
+        if spans:
+            self.obs.enable()
         #: Fault-injection engine, if one is installed
         #: (:func:`repro.faults.install`).  ``None`` means the substrate is
         #: perfect: no crashes, no loss, no degradation.
@@ -135,6 +148,18 @@ class Kernel:
         self._pending_selects: dict[int, _PendingSelect] = {}
         self._last_stepped: Process | None = None
         self._running = False
+
+    @property
+    def current_process(self) -> Process | None:
+        """The process whose generator is executing right now.
+
+        Valid only from code running inside a process body (the kernel
+        points it at a process immediately before resuming its
+        generator); observability helpers use it to attach spans to the
+        calling process without spending a ``Self`` syscall — which
+        would insert an extra event and perturb same-tick ordering.
+        """
+        return self._last_stepped
 
     # ------------------------------------------------------------------
     # Process management

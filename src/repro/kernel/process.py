@@ -72,6 +72,7 @@ class Process:
         "resumptions",
         "epoch",
         "node",
+        "span",
     )
 
     def __init__(
@@ -119,6 +120,10 @@ class Process:
         self.epoch = 0
         #: Home node when running on a simulated network (set by repro.net).
         self.node = None
+        #: Current observability span: entry calls issued by this process
+        #: parent under it (set by the pool for body processes and by the
+        #: replication daemons; always None while spans are disabled).
+        self.span = None
 
     # -- scheduling hooks (used by the scheduler only) ------------------
 

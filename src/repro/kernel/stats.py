@@ -8,7 +8,7 @@ about qualitatively: process creations (§3 pools), context switches
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -55,22 +55,29 @@ class KernelStats:
         self.custom[key] = self.custom.get(key, 0) + amount
 
     def snapshot(self) -> dict[str, int]:
-        """Return a flat dict copy of every counter (custom ones prefixed)."""
+        """Return a flat dict copy of every counter (custom ones prefixed).
+
+        Field names are derived from the dataclass itself, so adding a
+        counter field can never silently omit it from benchmark tables.
+        """
         flat = {
-            name: getattr(self, name)
-            for name in (
-                "spawns", "lwp_spawns", "exits", "context_switches",
-                "resumptions", "sends", "receives", "selects", "guard_polls",
-                "commits", "accepts", "starts", "awaits", "finishes",
-                "calls_issued", "calls_completed", "calls_combined",
-                "work_ticks",
-            )
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "custom"
         }
         for key, value in self.custom.items():
             flat[f"custom.{key}"] = value
         return flat
 
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:
-        """Counter deltas relative to an earlier :meth:`snapshot`."""
+        """Counter deltas relative to an earlier :meth:`snapshot`.
+
+        Keys present only in ``earlier`` (e.g. a custom counter that was
+        bumped before the baseline but never after) appear with a
+        negative delta instead of being dropped.
+        """
         now = self.snapshot()
-        return {k: now.get(k, 0) - earlier.get(k, 0) for k in now}
+        return {
+            k: now.get(k, 0) - earlier.get(k, 0)
+            for k in sorted(now.keys() | earlier.keys())
+        }

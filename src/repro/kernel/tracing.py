@@ -47,13 +47,19 @@ class Trace:
         self._listeners: list[Callable[[TraceEvent], None]] = []
 
     def record(self, time: int, kind: str, process: str, **detail: Any) -> None:
-        """Append an event (no-op when disabled)."""
-        if not self.enabled:
+        """Append an event (no-op when disabled and nobody is listening).
+
+        A subscribed listener (e.g. an observability sink) receives every
+        event even while in-memory retention is off — streaming a run to
+        a file must not require holding it in memory too.
+        """
+        if not self.enabled and not self._listeners:
             return
         event = TraceEvent(time=time, kind=kind, process=process, detail=detail)
-        self._events.append(event)
-        if self._capacity is not None and len(self._events) > self._capacity:
-            del self._events[: len(self._events) - self._capacity]
+        if self.enabled:
+            self._events.append(event)
+            if self._capacity is not None and len(self._events) > self._capacity:
+                del self._events[: len(self._events) - self._capacity]
         for listener in self._listeners:
             listener(event)
 

@@ -75,8 +75,14 @@ class Network:
         #: Fault injector, if installed (:func:`repro.faults.install`).
         #: Downed links/nodes are subtracted from the routed topology.
         self.faults: Any = None
-        #: Total messages × hops carried (benchmark metric).
+        #: Total messages × hops carried (benchmark metric).  The hot
+        #: path updates this plain attribute; the registry reads it
+        #: lazily through a callback-backed gauge at snapshot time.
         self.traffic = 0
+        kernel.metrics.gauge(
+            f"net.{name}.traffic", "Messages × hops carried",
+            fn=lambda: self.traffic,
+        )
 
     # -- topology ---------------------------------------------------------
 

@@ -65,15 +65,25 @@ class NetSend(Syscall):
 
         def deliver() -> None:
             channel._enqueue(self.values)
-            kernel.stats.sends += 1
             kernel.notify(channel)
 
+        # One logical send == one sends tick, charged at send time.  Wire
+        # transmissions (including fault-injected duplicates) are counted
+        # separately under rpc.messages; previously each *delivery* bumped
+        # sends, double-counting duplicated messages.
+        kernel.stats.sends += 1
         remote = home is not None and sender_node is not None and home is not sender_node
         faults = kernel.faults
+        if remote:
+            rpc_messages = kernel.metrics.counter(
+                "rpc.messages", "Cross-node message transmissions (incl. duplicates)"
+            )
         if faults is not None and remote:
             # The injector decides this message's fate: zero, one (possibly
             # jittered) or two (duplicated) deliveries.
-            for delay in faults.message_fates(proc, sender_node, home, self.size):
+            fates = faults.message_fates(proc, sender_node, home, self.size)
+            rpc_messages.inc(len(fates))
+            for delay in fates:
                 if delay:
                     kernel.post(kernel.clock.now + delay, deliver)
                 else:
@@ -81,6 +91,7 @@ class NetSend(Syscall):
         else:
             delay = 0
             if remote:
+                rpc_messages.inc()
                 delay = home.network.latency(sender_node, home, size=self.size)
             if delay:
                 kernel.post(kernel.clock.now + delay, deliver)

@@ -1,0 +1,272 @@
+"""repro.obs — the unified observability layer.
+
+One subsystem answers "where does virtual time go inside an object?"
+(the question every claim in the paper reduces to — manager
+receptiveness §1/§3, polling cost §3, combining's saved work §2.7):
+
+* **spans** (:mod:`repro.obs.spans`) — one span tree per entry call,
+  client issue → RPC hop → queue wait → manager accept/start/await/
+  finish → body on a pool slot → reply, stitched across the replication
+  sequencer and failover;
+* **typed metrics** (:mod:`repro.obs.metrics`) — declared ``Counter``/
+  ``Gauge``/``Histogram`` objects per module instead of stringly
+  ``stats.bump(...)`` calls, registered on ``kernel.metrics``;
+* **sinks** (:mod:`repro.obs.sinks`) — the in-memory kernel ``Trace``
+  (unchanged), JSONL, and Chrome ``trace_event`` for Perfetto.
+
+The :class:`Observability` facade lives on every kernel as
+``kernel.obs`` but is *disabled* by default.  The zero-cost contract:
+while disabled, the call path performs exactly one attribute test and
+allocates nothing — deterministic schedules, interleaving-asserting
+tests and benchmark numbers are bit-identical with the layer off.
+
+Typical use::
+
+    kernel = Kernel(seed=7)
+    sink = kernel.obs.add_sink(ChromeTraceSink("run.json"))  # enables
+    ... run the workload ...
+    kernel.obs.close()          # writes run.json; open in Perfetto
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from .metrics import Counter, Gauge, Histogram, MetricError, MetricsRegistry
+from .sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    MemorySink,
+    TraceSink,
+    validate_chrome_trace,
+)
+from .spans import Span, TransitionRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.calls import Call
+    from ..kernel.kernel import Kernel
+    from ..kernel.process import Process
+
+__all__ = [
+    "Observability",
+    "Span",
+    "TransitionRecord",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "TraceSink",
+    "MemorySink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "validate_chrome_trace",
+]
+
+
+class Observability:
+    """Per-kernel span recorder and sink fan-out (``kernel.obs``).
+
+    ``enabled`` gates every producer-side hook; :meth:`add_sink` turns
+    it on.  Span ids come from a per-kernel counter, so two runs with
+    the same seed export identical timelines.
+    """
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self.enabled = False
+        self.sinks: list[TraceSink] = []
+        #: Finished spans, retained in memory while enabled (tests, the
+        #: bench harness and ad-hoc queries read these directly).
+        self.spans: list[Span] = []
+        self.keep_spans = True
+        #: Lifetime count of Span objects allocated — the zero-cost
+        #: tests assert this stays 0 on a disabled kernel.
+        self.span_count = 0
+        self._next_span_id = 1
+        self._trace_forwarded = False
+        self._latency: Histogram | None = None
+
+    # -- switches ---------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+        if self._latency is None:
+            self._latency = self.kernel.metrics.histogram(
+                "calls.latency", "Entry-call response time in ticks (spans on)"
+            )
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def add_sink(self, sink: TraceSink, forward_trace: bool = True) -> TraceSink:
+        """Attach ``sink`` (enables the layer) and return it.
+
+        With ``forward_trace`` the kernel's trace events also stream to
+        the sink as instants — even when in-memory trace retention is
+        off (``Trace.record`` fires listeners regardless).
+        """
+        self.sinks.append(sink)
+        self.enable()
+        if forward_trace and not self._trace_forwarded:
+            self.kernel.trace.subscribe(self._forward_trace_event)
+            self._trace_forwarded = True
+        return sink
+
+    def close(self) -> None:
+        """Flush and close every sink (idempotent per sink contract)."""
+        for sink in self.sinks:
+            sink.close()
+
+    # -- span recording ---------------------------------------------------
+
+    def begin(
+        self,
+        kind: str,
+        name: str,
+        process: str = "",
+        parent: "Span | int | None" = None,
+        call_id: int | None = None,
+        at: int | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span at ``at`` (default: now).  Caller must :meth:`end` it."""
+        self.span_count += 1
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        return Span(
+            span_id,
+            kind,
+            name,
+            process,
+            self.kernel.clock.now if at is None else at,
+            parent_id=parent.span_id if isinstance(parent, Span) else parent,
+            call_id=call_id,
+            attrs=attrs or None,
+        )
+
+    def end(self, span: Span, at: int | None = None, **attrs: Any) -> None:
+        """Close ``span`` and deliver it to the span log and sinks."""
+        span.end = self.kernel.clock.now if at is None else at
+        if attrs:
+            span.attrs.update(attrs)
+        self._deliver(span)
+
+    def emit(
+        self,
+        kind: str,
+        name: str,
+        *,
+        start: int,
+        end: int,
+        process: str = "",
+        parent: "Span | int | None" = None,
+        call_id: int | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record an already-closed interval (derived phase spans)."""
+        span = self.begin(
+            kind, name, process=process, parent=parent, call_id=call_id,
+            at=start, **attrs,
+        )
+        span.end = end
+        self._deliver(span)
+        return span
+
+    def instant(self, kind: str, process: str = "", **detail: Any) -> None:
+        """A point annotation delivered straight to the sinks."""
+        now = self.kernel.clock.now
+        for sink in self.sinks:
+            sink.on_instant(now, kind, process, detail)
+
+    def _deliver(self, span: Span) -> None:
+        if self.keep_spans:
+            self.spans.append(span)
+        for sink in self.sinks:
+            sink.on_span(span)
+
+    def _forward_trace_event(self, event: Any) -> None:
+        for sink in self.sinks:
+            sink.on_instant(event.time, event.kind, event.process, event.detail)
+
+    # -- the entry-call hooks --------------------------------------------
+
+    def call_issued(self, call: "Call", proc: "Process") -> None:
+        """Open the root span of an entry call (hot path; enabled only)."""
+        call.span = self.begin(
+            "call",
+            f"{call.obj.alps_name}.{call.entry}",
+            process=proc.name,
+            parent=proc.span,
+            call_id=call.call_id,
+        )
+
+    def complete_call(self, call: "Call", status: str = "ok") -> None:
+        """Close a call's span tree, deriving phase children.
+
+        The phases come from the timestamps :class:`~repro.core.calls.Call`
+        already records — no per-transition allocation ever happens on
+        the call path, even with the layer enabled.  Safe to invoke from
+        every completion route (finish, unmanaged completion, body
+        failure, timeout expiry, crash detection); the first wins.
+        """
+        root = call.span
+        if root is None:
+            return
+        call.span = None
+        finish = call.finished_at
+        if finish is None:
+            finish = self.kernel.clock.now
+        rid = root.span_id
+        cid = call.call_id
+        entry = call.entry
+        manager = getattr(call.obj, "manager_process", None)
+        mname = manager.name if manager is not None else root.process
+
+        def phase(kind: str, name: str, start: int | None, stop: int | None,
+                  process: str) -> None:
+            if start is None or stop is None or stop < start:
+                return
+            self.emit(kind, name, start=start, end=stop, process=process,
+                      parent=rid, call_id=cid)
+
+        request_delay = root.attrs.get("request_delay", 0)
+        arrived = None if call.issued_at is None else call.issued_at + request_delay
+        if request_delay:
+            phase("rpc", f"{entry}.request", call.issued_at, arrived, root.process)
+        # finished_at includes the response leg once the caller resumes.
+        reply_at = finish - call.response_delay if call.response_delay else finish
+        if call.combined:
+            # §2.7 combining: accept → finish with no body at all.
+            phase("manager", f"{entry}.combined", call.accepted_at, reply_at, mname)
+        else:
+            phase("queue", f"{entry}.queue", arrived, call.attached_at, mname)
+            phase("manager", f"{entry}.accept", call.attached_at, call.accepted_at,
+                  mname)
+            phase("manager", f"{entry}.start", call.accepted_at, call.started_at,
+                  mname)
+            body = call.body_process
+            phase("body", f"{entry}.body", call.started_at, call.body_done_at,
+                  body.name if body is not None else mname)
+            phase("manager", f"{entry}.finish", call.body_done_at, reply_at, mname)
+        if call.response_delay:
+            phase("rpc", f"{entry}.response", reply_at, finish, root.process)
+        if self._latency is not None and call.issued_at is not None:
+            self._latency.observe(finish - call.issued_at)
+        self.end(root, at=finish, status=status)
+
+    # -- queries ----------------------------------------------------------
+
+    def find_spans(self, kind: str | None = None, name: str | None = None) -> list[Span]:
+        """Finished spans filtered by kind and/or name substring."""
+        out = []
+        for span in self.spans:
+            if kind is not None and span.kind != kind:
+                continue
+            if name is not None and name not in span.name:
+                continue
+            out.append(span)
+        return out
+
+    def children_of(self, span_id: int) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span_id]

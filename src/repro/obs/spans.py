@@ -1,0 +1,129 @@
+"""Spans: per-call causality in virtual time.
+
+A :class:`Span` is one named interval of virtual time with a parent
+link.  The observability layer builds one *span tree* per entry call:
+
+```
+replicated.write kv.put            (client process)
+└── replicate kv.put@v3            (write sequencer)
+    ├── call kv.put → n0           (the primary's entry call)
+    │   ├── rpc.request            (wire latency, client → node)
+    │   ├── manager.accept         (issue → accept: receptiveness wait)
+    │   ├── manager.start          (accept → body dispatch)
+    │   ├── body                   (pool slot executes the entry body)
+    │   ├── manager.finish         (await/finish window)
+    │   └── rpc.response           (wire latency, node → client)
+    └── call kv.put → n2           (forward to a backup)
+        └── ...
+```
+
+Span ids are allocated from a per-kernel counter so runs are
+reproducible; times are virtual ticks, so the exported timeline lines
+up exactly with trace events and the benchmark tables.
+
+Zero-cost contract: when observability is disabled no ``Span`` object
+is ever allocated on the call path — the phase children above are
+*derived* from the timestamps :class:`~repro.core.calls.Call` already
+records, at completion time, only when a sink or the in-memory span log
+is active.
+
+:class:`TransitionRecord` closes the loop for failover timelines: the
+heartbeat and replica view keep their transition logs as plain tuples
+(the determinism contract tests compare them across runs), but each
+record also carries the id of the span that observed it, so an exported
+trace connects detection → promotion → catch-up.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Span:
+    """One named interval of virtual time, with a parent link.
+
+    ``end`` is ``None`` while the span is open.  ``attrs`` carries
+    small, JSON-safe key/values (entry name, version, verdict, status).
+    """
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "kind",
+        "name",
+        "process",
+        "start",
+        "end",
+        "call_id",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        kind: str,
+        name: str,
+        process: str,
+        start: int,
+        parent_id: int | None = None,
+        call_id: int | None = None,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.kind = kind
+        self.name = name
+        self.process = process
+        self.start = start
+        self.end: int | None = None
+        self.call_id = call_id
+        self.attrs = attrs or {}
+
+    @property
+    def duration(self) -> int | None:
+        return None if self.end is None else self.end - self.start
+
+    def to_record(self) -> dict[str, Any]:
+        """Flat JSON-safe dict (the JSONL sink's line format)."""
+        record: dict[str, Any] = {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "kind": self.kind,
+            "name": self.name,
+            "process": self.process,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.call_id is not None:
+            record["call_id"] = self.call_id
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tail = "open" if self.end is None else f"{self.start}..{self.end}"
+        return f"<Span #{self.span_id} {self.kind}:{self.name} {tail}>"
+
+
+class TransitionRecord(tuple):
+    """A transition tuple that also names the span that observed it.
+
+    Compares (and hashes) exactly like the plain tuple it wraps, so the
+    heartbeat/view determinism contracts — ``rep1.view.transitions ==
+    rep2.view.transitions`` and bit-identity with pre-span logs — hold
+    unchanged, while exporters can follow ``span_id`` into the timeline.
+    """
+
+    span_id: int | None
+
+    def __new__(cls, values: tuple, span_id: int | None = None) -> "TransitionRecord":
+        self = super().__new__(cls, values)
+        self.span_id = span_id
+        return self
+
+    def __repr__(self) -> str:
+        base = super().__repr__()
+        if self.span_id is None:
+            return base
+        return f"{base}#s{self.span_id}"

@@ -197,6 +197,37 @@ class Replicated:
         #: Version lag observed by each read a backup served.
         self._staleness: list[int] = []
 
+        metrics = self.kernel.metrics
+        self.c_reads = metrics.counter(
+            "replication.reads", "Reads served by any replica",
+            legacy="replicated_reads",
+        )
+        self.c_failovers = metrics.counter(
+            "replication.failovers", "Reads failed over to a backup",
+            legacy="replication_failovers",
+        )
+        self.c_writes = metrics.counter(
+            "replication.writes", "Writes acknowledged by the sequencer",
+            legacy="replicated_writes",
+        )
+        self.c_write_failures = metrics.counter(
+            "replication.write_failures",
+            "Writes failed after exhausting every replica",
+            legacy="replication_write_failures",
+        )
+        self.c_restarts = metrics.counter(
+            "replication.restarts", "Replicas self-restarted by the view monitor",
+            legacy="replication_restarts",
+        )
+        self.c_catchup_writes = metrics.counter(
+            "replication.catchup_writes", "Writes replayed during catch-up",
+            legacy="replication_catchup_writes",
+        )
+        self.c_snapshots = metrics.counter(
+            "replication.snapshots", "Full state transfers between replicas",
+            legacy="replication_snapshots",
+        )
+
         # -- placement: one replica per distinct node ----------------------
         if nodes is not None:
             chosen: list["Node"] = [
@@ -371,9 +402,9 @@ class Replicated:
                 last_exc = exc
                 self.view.mark_down(rname)
                 continue
-            self.kernel.stats.bump("replicated_reads")
+            self.c_reads.inc()
             if rname != primary:
-                self.kernel.stats.bump("replication_failovers")
+                self.c_failovers.inc()
                 self._staleness.append(self.view.lag(rname))
             return result
         raise RemoteCallError(
@@ -384,9 +415,22 @@ class Replicated:
 
     def _write(self, entry: str, args: tuple, timeout: int):
         """Submit to the sequencer; block until acknowledged (or failed)."""
+        obs = self.kernel.obs
+        span = None
+        if obs.enabled:
+            # Root of the per-write span tree: client submit → sequencer
+            # (via the queued span id) → per-replica entry calls → ack.
+            client = self.kernel.current_process
+            span = obs.begin(
+                "replicated", f"{self.name}.{entry}",
+                process=client.name, parent=client.span,
+            )
         reply = Channel(name=f"{self.name}.ack")
-        yield Send(self._write_queue, (entry, args, timeout, reply))
+        sid = None if span is None else span.span_id
+        yield Send(self._write_queue, (entry, args, timeout, reply, sid))
         status, payload = yield Receive(reply)
+        if span is not None:
+            obs.end(span, status=status)
         if status == "error":
             raise payload
         return payload
@@ -396,17 +440,35 @@ class Replicated:
     # ------------------------------------------------------------------
 
     def _sequencer(self):
+        obs = self.kernel.obs
         while True:
-            entry, args, timeout, reply = yield Receive(self._write_queue)
+            entry, args, timeout, reply, parent = yield Receive(self._write_queue)
+            span = None
+            if obs.enabled:
+                # The sequencer span parents on the client's write span
+                # and, through the process span link, adopts the primary
+                # apply and backup forward calls as children.
+                span = obs.begin(
+                    "replication", f"{self.name}.{entry}.sequence",
+                    process=self._sequencer_proc.name, parent=parent,
+                )
+                self._sequencer_proc.span = span
             try:
                 result = yield from self._apply_write(entry, args, timeout)
             except (RemoteCallError, ReplicationError) as exc:
-                self.kernel.stats.bump("replication_write_failures")
+                self.c_write_failures.inc()
+                if span is not None:
+                    obs.end(span, status="error")
+                    self._sequencer_proc.span = None
                 yield Send(reply, ("error", exc))
             else:
+                if span is not None:
+                    obs.end(span, status="ok", version=self.view.version)
+                    self._sequencer_proc.span = None
                 yield Send(reply, ("ok", result))
 
     def _apply_write(self, entry: str, args: tuple, timeout: int):
+        span = self._sequencer_proc.span
         version = self.view.version + 1
         tried = 0
         while True:
@@ -420,17 +482,17 @@ class Replicated:
                 )
                 break
             except RemoteCallError:
-                self.view.mark_down(primary)
+                self.view.mark_down(primary, span=span)
                 tried += 1
                 if tried >= len(self.view.order):
                     raise
-                promoted = yield from self._elect()
+                promoted = yield from self._elect(span)
                 if promoted is None:
                     raise
         self.view.mark_applied(primary, version)
         self.log.append(version, entry, args)
         self.view.commit(version)
-        self.kernel.stats.bump("replicated_writes")
+        self.c_writes.inc()
         self.kernel.trace.record(
             self.kernel.clock.now, "replicate", self.name,
             entry=entry, version=version, primary=primary,
@@ -447,14 +509,14 @@ class Replicated:
                 )
             except RemoteCallError:
                 # Stale from here on; it catches up when it rejoins.
-                self.view.mark_down(rname)
+                self.view.mark_down(rname, span=span)
             else:
                 self.view.mark_applied(rname, version)
         return result
 
-    def _elect(self):
+    def _elect(self, span=None):
         """Promote (and catch up) a new primary; None when none is live."""
-        promoted = self.view.promote()
+        promoted = self.view.promote(span=span)
         if promoted is None:
             return None
         if self.view.lag(promoted):
@@ -466,6 +528,7 @@ class Replicated:
     # ------------------------------------------------------------------
 
     def _view_monitor(self):
+        obs = self.kernel.obs
         hb_seen = 0
         fault_seen = 0
         view_seen = 0
@@ -484,9 +547,27 @@ class Replicated:
             view_seen = self.view.change_count
             if self.faults is not None:
                 fault_seen = self.faults.event_count
-            yield from self._reconcile()
+            span = None
+            if obs.enabled:
+                # Parent on the probe that raised the latest verdict, so
+                # the exported timeline reads detection → promotion →
+                # catch-up as one connected tree.
+                parent = None
+                if self.heartbeat.transitions:
+                    parent = getattr(
+                        self.heartbeat.transitions[-1], "span_id", None
+                    )
+                span = obs.begin(
+                    "replication", f"{self.name}.reconcile",
+                    process=self._monitor_proc.name, parent=parent,
+                )
+                self._monitor_proc.span = span
+            yield from self._reconcile(span)
+            if span is not None:
+                obs.end(span, primary=self.view.primary)
+                self._monitor_proc.span = None
 
-    def _reconcile(self):
+    def _reconcile(self, span=None):
         # 1. Self-restart (no Supervisor): bring crashed replicas back
         #    once their node is up; with a Supervisor, restarts are its
         #    job (and it re-queues interrupted calls as well).
@@ -496,7 +577,7 @@ class Replicated:
                     continue
                 if obj._crashed:
                     obj.restart()
-                    self.kernel.stats.bump("replication_restarts")
+                    self.c_restarts.inc()
                 beacon = self._beacons.get(rname)
                 if beacon is not None and beacon._crashed:
                     beacon.restart()
@@ -505,16 +586,16 @@ class Replicated:
         for rname in self.view.order:
             verdict = self.heartbeat.status.get(rname)
             if verdict == "down":
-                self.view.mark_down(rname)
+                self.view.mark_down(rname, span=span)
             elif verdict == "up" and not self.view.is_up(rname):
                 try:
                     yield from self._catch_up(rname)
                 except (RemoteCallError, ReplicationError):
                     continue  # still unreachable; retry on the next event
-                self.view.mark_up(rname)
+                self.view.mark_up(rname, span=span)
         # 3. Leadership: a dead primary cedes to the best live backup.
         if not self.view.is_up(self.view.primary):
-            promoted = self.view.promote()
+            promoted = self.view.promote(span=span)
             if promoted is not None and self.view.lag(promoted):
                 try:
                     yield from self._catch_up(promoted)
@@ -558,7 +639,7 @@ class Replicated:
                     seed=self._next_seed(),
                 )
                 self.view.mark_applied(rname, version)
-                self.kernel.stats.bump("replication_catchup_writes")
+                self.c_catchup_writes.inc()
 
     def _snapshot_transfer(self, rname: str):
         """Full state copy from the best live donor (log replay impossible)."""
@@ -586,7 +667,7 @@ class Replicated:
             yield Delay(cost)
         self._objects[rname].state_restore(snapshot)
         self.view.mark_applied(rname, donor_version)
-        self.kernel.stats.bump("replication_snapshots")
+        self.c_snapshots.inc()
         self.kernel.trace.record(
             self.kernel.clock.now, "state_transfer", self.name,
             donor=donor, to=rname, version=donor_version,

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable
 
 from ..kernel.waiting import Guard, Ready, Waitable
+from ..obs.spans import TransitionRecord
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.kernel import Kernel
@@ -76,7 +77,10 @@ class ReplicaView:
         #: Highest acknowledged write version.
         self.version = 0
         #: (tick, event, replica, version-at-event) per change; events are
-        #: "down", "rejoin", "promote".
+        #: "down", "rejoin", "promote".  Each record compares equal to a
+        #: plain 4-tuple but also carries the id of the span that observed
+        #: the change (None with spans disabled), so exported failover
+        #: timelines connect detection to promotion and catch-up.
         self.transitions: list[tuple[int, str, str, int]] = []
         #: Monotone transition count, and the waitable the view monitor
         #: blocks on to observe changes made by other processes.
@@ -100,26 +104,38 @@ class ReplicaView:
 
     # -- mutations --------------------------------------------------------
 
-    def _record(self, event: str, name: str) -> None:
+    def _record(self, event: str, name: str, span_id: int | None = None) -> None:
         self.transitions.append(
-            (self.kernel.clock.now, event, name, self.versions[name])
+            TransitionRecord(
+                (self.kernel.clock.now, event, name, self.versions[name]),
+                span_id=span_id,
+            )
         )
         self.change_count += 1
         self.kernel.notify(self.changes)
 
-    def mark_down(self, name: str) -> None:
+    def _span_id(self, span) -> int | None:
+        return None if span is None else getattr(span, "span_id", span)
+
+    def mark_down(self, name: str, span=None) -> None:
         if self.status[name] == "down":
             return
         self.status[name] = "down"
-        self._record("down", name)
-        self.kernel.stats.bump("replication_suspicions")
+        self._record("down", name, span_id=self._span_id(span))
+        self.kernel.metrics.counter(
+            "replication.suspicions", "Replicas marked down in the view",
+            legacy="replication_suspicions",
+        ).inc()
 
-    def mark_up(self, name: str) -> None:
+    def mark_up(self, name: str, span=None) -> None:
         if self.status[name] == "up":
             return
         self.status[name] = "up"
-        self._record("rejoin", name)
-        self.kernel.stats.bump("replication_rejoins")
+        self._record("rejoin", name, span_id=self._span_id(span))
+        self.kernel.metrics.counter(
+            "replication.rejoins", "Replicas rejoining the view after catch-up",
+            legacy="replication_rejoins",
+        ).inc()
 
     def mark_applied(self, name: str, version: int) -> None:
         if version > self.versions[name]:
@@ -130,7 +146,7 @@ class ReplicaView:
         if version > self.version:
             self.version = version
 
-    def promote(self) -> str | None:
+    def promote(self, span=None) -> str | None:
         """Re-elect if the primary is down; returns the primary, or None.
 
         Chooses the live backup with the highest applied version
@@ -148,6 +164,9 @@ class ReplicaView:
             key=lambda n: (self.versions[n], -self.order.index(n)),
         )
         self.primary = best
-        self._record("promote", best)
-        self.kernel.stats.bump("replication_promotions")
+        self._record("promote", best, span_id=self._span_id(span))
+        self.kernel.metrics.counter(
+            "replication.promotions", "Backups promoted to primary",
+            legacy="replication_promotions",
+        ).inc()
         return best

@@ -95,7 +95,10 @@ class Supervisor(AlpsObject):
                 if self.faults.requeue(call):
                     requeued += 1
             self.restarts.append((kernel.clock.now, name, requeued))
-            kernel.stats.bump("supervisor_restarts")
+            kernel.metrics.counter(
+                "supervisor.restarts", "Watched objects restarted after a crash",
+                legacy="supervisor_restarts",
+            ).inc()
             kernel.trace.record(
                 kernel.clock.now, "restart", name,
                 by=self.alps_name, requeued=requeued,

@@ -1,0 +1,78 @@
+"""Send accounting: one logical send == one ``sends`` tick, always.
+
+Regression tests for a double-count bug: ``NetSend`` used to bump
+``stats.sends`` once per *delivery*, so a fault-injected duplicate
+inflated the send count.  Logical sends now tick ``sends`` exactly once
+at send time; wire transmissions (including duplicates) are counted
+separately under the typed ``rpc.messages`` counter.
+"""
+
+from repro.channels import Channel, Receive, Send
+from repro.faults import FaultPlan, install
+from repro.kernel import Kernel
+from repro.kernel.costs import FREE
+from repro.net import NetChannel, NetSend, ring
+
+
+def run_send(kernel, net, syscall_factory, channel):
+    got = []
+
+    def sender():
+        yield syscall_factory()
+
+    def receiver():
+        got.append((yield Receive(channel)))
+
+    net.node("n0").spawn(sender, name="sender")
+    kernel.spawn(receiver, name="receiver")
+    kernel.run()
+    return got
+
+
+def test_local_channel_send_counts_once():
+    kernel = Kernel(costs=FREE, seed=0)
+    net = ring(kernel, 4)
+    ch = Channel(name="local")
+    got = run_send(kernel, net, lambda: Send(ch, "m"), ch)
+    assert got == ["m"]
+    assert kernel.stats.sends == 1
+    # A node-local send never touches the wire.
+    assert kernel.metrics.value("rpc.messages") == 0
+
+
+def test_remote_send_counts_once_per_logical_send():
+    kernel = Kernel(costs=FREE, seed=0)
+    net = ring(kernel, 4)
+    ch = NetChannel(net.node("n2"), name="remote")
+    got = run_send(kernel, net, lambda: NetSend(ch, "m"), ch)
+    assert got == ["m"]
+    assert kernel.stats.sends == 1
+    assert kernel.metrics.value("rpc.messages") == 1
+
+
+def test_duplicated_message_not_double_counted_as_send():
+    kernel = Kernel(costs=FREE, seed=0)
+    net = ring(kernel, 4)
+    install(kernel, net, FaultPlan(seed=0).duplicate_messages(1.0))
+    ch = NetChannel(net.node("n2"), name="remote")
+    got = run_send(kernel, net, lambda: NetSend(ch, "m"), ch)
+    assert got == ["m"]
+    # One logical send...
+    assert kernel.stats.sends == 1
+    # ... two wire transmissions (the duplicate), visible where they
+    # belong, and the duplication itself on the fault layer's counter.
+    assert kernel.metrics.value("rpc.messages") == 2
+    assert kernel.metrics.value("faults.duplicated_messages") == 1
+    # The duplicate still arrives: the channel buffered both copies.
+    assert ch.total_sent == 2
+
+
+def test_remote_send_through_faults_counts_wire_messages():
+    kernel = Kernel(costs=FREE, seed=0)
+    net = ring(kernel, 4)
+    install(kernel, net, FaultPlan(seed=0))  # clean fates path
+    ch = NetChannel(net.node("n2"), name="remote")
+    got = run_send(kernel, net, lambda: NetSend(ch, "m"), ch)
+    assert got == ["m"]
+    assert kernel.stats.sends == 1
+    assert kernel.metrics.value("rpc.messages") == 1

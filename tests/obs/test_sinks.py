@@ -1,0 +1,132 @@
+"""Pluggable sinks: JSONL lines, Chrome trace_event, trace forwarding."""
+
+import io
+import json
+
+from repro.kernel import Kernel
+from repro.obs import (
+    ChromeTraceSink,
+    JsonlSink,
+    MemorySink,
+    validate_chrome_trace,
+)
+from repro.stdlib import KVStore
+
+
+def run_workload(kernel):
+    store = KVStore(kernel, name="kv")
+
+    def main():
+        yield store.put("a", 1)
+        yield store.get("a")
+
+    kernel.run_process(main, name="client")
+
+
+class TestMemorySink:
+    def test_records_spans(self):
+        kernel = Kernel()
+        sink = kernel.obs.add_sink(MemorySink())
+        run_workload(kernel)
+        spans = sink.spans()
+        assert spans
+        names = {s["name"] for s in spans}
+        assert "kv.put" in names and "kv.get" in names
+        for record in spans:
+            assert record["end"] >= record["start"]
+
+    def test_add_sink_enables_the_layer(self):
+        kernel = Kernel()
+        assert not kernel.obs.enabled
+        kernel.obs.add_sink(MemorySink())
+        assert kernel.obs.enabled
+
+
+class TestJsonlSink:
+    def test_one_json_object_per_line(self):
+        kernel = Kernel()
+        buffer = io.StringIO()
+        sink = kernel.obs.add_sink(JsonlSink(buffer))
+        run_workload(kernel)
+        kernel.obs.close()
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == sink.lines > 0
+        records = [json.loads(line) for line in lines]
+        assert {"span", "event"} >= {r["type"] for r in records}
+        assert any(r["type"] == "span" and r["name"] == "kv.put"
+                   for r in records)
+
+    def test_path_target(self, tmp_path):
+        kernel = Kernel()
+        path = tmp_path / "trace.jsonl"
+        kernel.obs.add_sink(JsonlSink(str(path)))
+        run_workload(kernel)
+        kernel.obs.close()
+        assert path.stat().st_size > 0
+
+
+class TestChromeTraceSink:
+    def test_valid_balanced_payload(self, tmp_path):
+        kernel = Kernel(trace=True)
+        path = tmp_path / "run.json"
+        kernel.obs.add_sink(ChromeTraceSink(str(path)))
+        run_workload(kernel)
+        kernel.obs.close()
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+        events = payload["traceEvents"]
+        # Per-process thread-name metadata present, spans + instants too.
+        assert any(e.get("ph") == "M" for e in events)
+        assert any(e.get("ph") == "b" for e in events)
+        assert any(e.get("ph") == "i" for e in events)
+        # Parent links ride in args so viewers can reconstruct the tree.
+        assert any(
+            e.get("ph") == "b" and "parent" in e.get("args", {})
+            for e in events
+        )
+
+    def test_close_is_idempotent(self, tmp_path):
+        kernel = Kernel()
+        path = tmp_path / "run.json"
+        kernel.obs.add_sink(ChromeTraceSink(str(path)))
+        run_workload(kernel)
+        kernel.obs.close()
+        kernel.obs.close()
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+
+class TestValidator:
+    def test_rejects_malformed_payloads(self):
+        assert validate_chrome_trace(None)
+        assert validate_chrome_trace({})
+        assert validate_chrome_trace({"traceEvents": "nope"})
+        assert validate_chrome_trace({"traceEvents": []})  # empty
+
+    def test_detects_unbalanced_spans(self):
+        begin = {"ph": "b", "cat": "c", "name": "n", "id": 1, "ts": 0}
+        end = {"ph": "e", "cat": "c", "name": "n", "id": 1, "ts": 5}
+        assert validate_chrome_trace({"traceEvents": [begin]})
+        assert validate_chrome_trace({"traceEvents": [end]})
+        assert validate_chrome_trace({"traceEvents": [begin, end]}) == []
+        backwards = dict(end, ts=-1)
+        assert validate_chrome_trace({"traceEvents": [begin, backwards]})
+
+
+class TestTraceForwarding:
+    def test_sink_sees_events_with_retention_off(self):
+        # Kernel trace retention disabled: the in-memory log stays empty,
+        # but subscribed sinks still receive every event as an instant.
+        kernel = Kernel(trace=False)
+        sink = kernel.obs.add_sink(MemorySink())
+        run_workload(kernel)
+        assert len(kernel.trace) == 0
+        events = [r for r in sink.records if r["type"] == "event"]
+        assert {"spawn", "exit"} <= {e["kind"] for e in events}
+
+    def test_forwarding_can_be_declined(self):
+        kernel = Kernel(trace=True)
+        sink = MemorySink()
+        kernel.obs.add_sink(sink, forward_trace=False)
+        run_workload(kernel)
+        assert [r for r in sink.records if r["type"] == "event"] == []
+        assert sink.spans()

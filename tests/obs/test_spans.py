@@ -1,0 +1,176 @@
+"""Span trees: one connected tree per entry call, phases from timestamps."""
+
+from repro.core import AcceptGuard, AlpsObject, entry, icpt, manager_process
+from repro.errors import RemoteCallError
+from repro.faults import FaultPlan, install
+from repro.kernel import Delay, Kernel, Select
+from repro.kernel.costs import FREE
+from repro.net import ring
+from repro.stdlib import KVStore
+
+
+class Echo(AlpsObject):
+    @entry(returns=1)
+    def echo(self, x):
+        return x
+
+    @manager_process(intercepts={"echo": icpt(params=1, results=1)})
+    def mgr(self):
+        while True:
+            result = yield Select(AcceptGuard(self, "echo"))
+            yield from self.execute(result.value)
+
+
+def phases_of(kernel, root):
+    return {s.name: s for s in kernel.obs.children_of(root.span_id)}
+
+
+class TestManagedCall:
+    def test_full_phase_tree(self):
+        kernel = Kernel(spans=True)
+        obj = Echo(kernel, name="echo")
+
+        def main():
+            yield Delay(5)
+            return (yield obj.echo("hi"))
+
+        assert kernel.run_process(main, name="client") == "hi"
+        roots = kernel.obs.find_spans(kind="call")
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "echo.echo"
+        assert root.process == "client"
+        assert root.parent_id is None
+        assert root.attrs["status"] == "ok"
+        assert root.duration == root.end - root.start >= 0
+        children = phases_of(kernel, root)
+        assert {"echo.queue", "echo.accept", "echo.start", "echo.body",
+                "echo.finish"} <= set(children)
+        # Phases tile the call: each starts no earlier than the previous
+        # one ends, all within the root interval.
+        order = ["echo.queue", "echo.accept", "echo.start", "echo.body",
+                 "echo.finish"]
+        for earlier, later in zip(order, order[1:]):
+            assert children[earlier].end <= children[later].start
+        assert children[order[0]].start >= root.start
+        assert children[order[-1]].end <= root.end
+        # Every phase carries the call id of its root.
+        assert {c.call_id for c in children.values()} == {root.call_id}
+
+    def test_span_ids_are_deterministic(self):
+        def run():
+            kernel = Kernel(spans=True)
+            obj = Echo(kernel, name="echo")
+
+            def main():
+                yield obj.echo(1)
+                yield obj.echo(2)
+
+            kernel.run_process(main, name="client")
+            return [
+                (s.span_id, s.parent_id, s.kind, s.name, s.start, s.end)
+                for s in kernel.obs.spans
+            ]
+
+        assert run() == run()
+
+
+class TestNestedCalls:
+    def test_inner_call_parents_under_outer_body(self):
+        kernel = Kernel(spans=True)
+        inner = Echo(kernel, name="inner")
+
+        class Outer(AlpsObject):
+            @entry(returns=1)
+            def relay(self, x):
+                return (yield inner.echo(x))
+
+        outer = Outer(kernel, name="outer")
+
+        def main():
+            return (yield outer.relay("deep"))
+
+        assert kernel.run_process(main, name="client") == "deep"
+        by_name = {s.name: s for s in kernel.obs.find_spans(kind="call")}
+        assert by_name["inner.echo"].parent_id == by_name["outer.relay"].span_id
+
+    def test_combined_call_gets_combined_phase(self):
+        from repro.core import Finish
+
+        kernel = Kernel(costs=FREE, spans=True)
+
+        class Oracle(AlpsObject):
+            @entry(returns=1)
+            def ask(self):
+                raise AssertionError("never started")
+
+            @manager_process(intercepts=["ask"])
+            def mgr(self):
+                while True:
+                    result = yield Select(AcceptGuard(self, "ask"))
+                    yield Finish(result.value, 42)  # finish without start
+
+        obj = Oracle(kernel, name="oracle")
+
+        def main():
+            return (yield obj.ask())
+
+        assert kernel.run_process(main, name="client") == 42
+        root = kernel.obs.find_spans(kind="call")[0]
+        children = phases_of(kernel, root)
+        assert set(children) == {"ask.combined"}
+        assert children["ask.combined"].kind == "manager"
+
+
+class TestRemoteCalls:
+    def test_rpc_legs_bracket_the_phases(self):
+        kernel = Kernel(costs=FREE, seed=1, spans=True)
+        net = ring(kernel, 4)
+        store = net.node("n2").place(KVStore(kernel, name="kv"))
+
+        def main():
+            yield store.put("a", 1)
+
+        net.node("n0").spawn(main, name="client")
+        kernel.run()
+        root = kernel.obs.find_spans(kind="call")[0]
+        children = phases_of(kernel, root)
+        request = children["put.request"]
+        response = children["put.response"]
+        assert request.kind == response.kind == "rpc"
+        assert request.start == root.start
+        assert response.end == root.end
+        assert request.duration > 0 and response.duration > 0
+        assert root.attrs["request_delay"] == request.duration
+
+    def test_timeout_closes_the_span(self):
+        kernel = Kernel(costs=FREE, seed=1, spans=True)
+        net = ring(kernel, 4)
+        store = net.node("n1").place(KVStore(kernel, name="kv"))
+        install(kernel, net, FaultPlan(seed=1).drop_messages(1.0, dst="n1"))
+        outcome = []
+
+        def main():
+            try:
+                yield store.get("a", timeout=30)
+            except RemoteCallError:
+                outcome.append("timed out")
+
+        net.node("n3").spawn(main, name="client")
+        kernel.run()
+        assert outcome == ["timed out"]
+        root = kernel.obs.find_spans(kind="call")[0]
+        assert root.attrs["status"] == "timeout"
+        assert root.end is not None
+
+    def test_latency_histogram_fed_by_completions(self):
+        kernel = Kernel(spans=True)
+        obj = Echo(kernel, name="echo")
+
+        def main():
+            yield obj.echo(1)
+
+        kernel.run_process(main, name="client")
+        lat = kernel.metrics.get("calls.latency")
+        assert lat.count == 1
+        assert lat.min == lat.max >= 0

@@ -1,0 +1,181 @@
+"""The zero-cost contract: the disabled layer changes nothing.
+
+Two halves:
+
+* disabled — no span allocations, no ``call.span``, nothing delivered;
+* enabled — recording must not perturb the schedule either: a seeded
+  replication crash scenario produces tick-identical transition logs
+  and kernel traces with spans on and off (span hooks read timestamps
+  the call path records anyway; no extra syscalls are spent).
+"""
+
+from repro.errors import RemoteCallError
+from repro.faults import FaultPlan, install
+from repro.kernel import Delay, Kernel
+from repro.kernel.costs import FREE
+from repro.net import ring
+from repro.replication import Replicated
+from repro.stdlib import KVStore, Supervisor
+
+
+class TestDisabledCostsNothing:
+    def test_no_span_allocations_on_the_call_path(self):
+        kernel = Kernel()
+        store = KVStore(kernel, name="kv", record_calls=True)
+
+        def main():
+            yield store.put("a", 1)
+            yield store.get("a")
+
+        kernel.run_process(main, name="client")
+        assert not kernel.obs.enabled
+        assert kernel.obs.span_count == 0
+        assert kernel.obs.spans == []
+        for call in store.completed_calls():
+            assert call.span is None
+
+    def test_no_latency_histogram_until_enabled(self):
+        kernel = Kernel()
+        assert kernel.metrics.get("calls.latency") is None
+        kernel.obs.enable()
+        assert kernel.metrics.get("calls.latency") is not None
+
+    def test_heartbeat_records_carry_no_span_when_disabled(self):
+        from repro.obs.spans import TransitionRecord
+
+        kernel, rep = _build(spans=False)
+        _run(kernel, rep)
+        for t in rep.heartbeat.transitions + rep.view.transitions:
+            assert isinstance(t, TransitionRecord)
+            assert t.span_id is None
+
+
+def _build(spans: bool):
+    kernel = Kernel(costs=FREE, seed=3, trace=True, spans=spans)
+    net = ring(kernel, 6)
+    runtime = install(
+        kernel,
+        net,
+        FaultPlan(seed=3, detection_delay=20)
+        .crash_node("n0", at=300, restart_at=900)
+        .drop_messages(0.2, dst="n4"),
+    )
+    sup = net.node("n5").place(Supervisor(kernel, name="sup", faults=runtime))
+    rep = Replicated(
+        lambda name: KVStore(kernel, name=name),
+        net,
+        3,
+        writes=("put", "delete"),
+        nodes=["n0", "n2", "n4"],
+        supervisor=sup,
+        call_timeout=60,
+        heartbeat_interval=40,
+        seed=3,
+    )
+    return kernel, rep
+
+
+def _run(kernel, rep):
+    outcomes = []
+
+    def writer():
+        for i in range(20):
+            try:
+                yield from rep.put(f"k{i % 4}", i)
+                outcomes.append(("ack", i, kernel.clock.now))
+            except RemoteCallError:
+                outcomes.append(("fail", i, kernel.clock.now))
+            yield Delay(61)
+
+    def reader():
+        yield Delay(13)
+        for i in range(20):
+            try:
+                yield from rep.get(f"k{i % 4}")
+                outcomes.append(("read", i, kernel.clock.now))
+            except RemoteCallError:
+                outcomes.append(("rfail", i, kernel.clock.now))
+            yield Delay(53)
+
+    kernel.spawn(writer, name="writer")
+    rep.net.node("n1").spawn(reader, name="reader")
+    kernel.run(until=3000)
+    return outcomes
+
+
+def _trace_snapshot(kernel):
+    return [
+        (e.time, e.kind, e.process, tuple(sorted(e.detail.items())))
+        for e in kernel.trace
+    ]
+
+
+class TestEnabledIsScheduleNeutral:
+    def test_crash_scenario_is_tick_identical_with_spans_on(self):
+        k_off, rep_off = _build(spans=False)
+        out_off = _run(k_off, rep_off)
+        k_on, rep_on = _build(spans=True)
+        out_on = _run(k_on, rep_on)
+
+        # The scenario is not vacuous: it really failed over.
+        events = {event for _, event, _, _ in rep_off.view.transitions}
+        assert "down" in events and "promote" in events
+
+        # Bit-identical schedules: same outcomes at the same ticks, same
+        # transition logs (TransitionRecord compares as a plain tuple),
+        # same kernel trace, same counters.
+        assert out_on == out_off
+        assert list(rep_on.view.transitions) == list(rep_off.view.transitions)
+        assert list(rep_on.heartbeat.transitions) == list(
+            rep_off.heartbeat.transitions
+        )
+        assert _trace_snapshot(k_on) == _trace_snapshot(k_off)
+        assert k_on.clock.now == k_off.clock.now
+        assert k_on.stats.custom == k_off.stats.custom
+
+        # ... but only the enabled run recorded spans, and its records
+        # carry the observing span ids (detection → promotion linkage).
+        assert k_off.obs.span_count == 0
+        assert k_on.obs.span_count > 0
+        assert any(t.span_id is not None for t in rep_on.heartbeat.transitions)
+        assert any(t.span_id is not None for t in rep_on.view.transitions)
+
+    def test_every_acked_write_has_a_connected_span_tree(self):
+        # The acceptance shape: client write span → sequencer span →
+        # entry-call spans → phase spans, surviving primary failover.
+        kernel, rep = _build(spans=True)
+        outcomes = _run(kernel, rep)
+        acked = [o for o in outcomes if o[0] == "ack"]
+        assert acked
+        obs = kernel.obs
+        writes = [
+            s for s in obs.find_spans(kind="replicated")
+            if s.attrs.get("status") == "ok"
+        ]
+        assert len(writes) == len(acked)
+        for write in writes:
+            sequencer = [
+                s for s in obs.children_of(write.span_id)
+                if s.kind == "replication"
+            ]
+            assert sequencer, f"write span {write.span_id} has no sequencer child"
+            calls = [
+                c
+                for s in sequencer
+                for c in obs.children_of(s.span_id)
+                if c.kind == "call"
+            ]
+            assert calls, f"write span {write.span_id} reached no replica"
+            # Failed attempts (crashed target) may have no derivable
+            # phases; every *successful* hop must, and an acked write
+            # has at least one.
+            served = [c for c in calls if c.attrs.get("status") == "ok"]
+            assert served, f"write span {write.span_id} has no served call"
+            for call in served:
+                assert obs.children_of(call.span_id), (
+                    f"call span {call.span_id} has no phase children"
+                )
+        # Failover happened while writes kept connecting: the promotion
+        # transition links back to a recorded span.
+        promotes = [t for t in rep.view.transitions if t[1] == "promote"]
+        assert promotes and all(t.span_id is not None for t in promotes)

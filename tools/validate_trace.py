@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Validate a Chrome ``trace_event`` JSON file produced by repro.obs.
+
+CI runs this against the trace artifacts the benchmarks and examples
+export; it checks the payload is well-formed JSON with a non-empty
+``traceEvents`` list whose async span begins/ends balance (every ``"b"``
+has exactly one ``"e"`` of the same id/category, no earlier than its
+begin).
+
+Usage::
+
+    python tools/validate_trace.py run.json [more.json ...]
+
+Exit status 0 when every file passes; 1 with the problems listed
+otherwise.
+"""
+
+import json
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.obs.sinks import validate_chrome_trace  # noqa: E402
+
+
+def main(argv):
+    if not argv:
+        print(__doc__.strip())
+        return 2
+    failed = False
+    for path in argv:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable ({exc})")
+            failed = True
+            continue
+        problems = validate_chrome_trace(payload)
+        if problems:
+            failed = True
+            print(f"{path}: {len(problems)} problem(s)")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            events = payload["traceEvents"]
+            spans = sum(1 for e in events if e.get("ph") == "b")
+            print(f"{path}: OK ({len(events)} events, {spans} spans)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -12,7 +12,6 @@ scales with hop distance; co-located calls are free (the §1 RPC model).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines import (
     MonitorReadersWriters,
@@ -98,14 +97,7 @@ def drive_grid() -> list[dict]:
 
         procs[node.name] = (node, node.spawn(client))
     kernel.run()
-    rows = []
-    for name, (node, proc) in procs.items():
-        hops = net.latency(node, home) if node is not home else 0
-        rows.append({"caller": name, "hops": hops})
     calls = dictionary.completed_calls("search")
-    by_name = {call.caller.name: call for call in calls}
-    for row in rows:
-        pass  # response times joined below
     out = {}
     for call in calls:
         node = call.caller.node

@@ -15,7 +15,6 @@ Not a paper experiment — ablations of this implementation's own choices:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import (
     AcceptGuard,

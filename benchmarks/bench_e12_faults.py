@@ -18,7 +18,6 @@ no-recovery policy visibly collapses.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.errors import RemoteCallError
 from repro.faults import ExponentialBackoff, FaultPlan, FixedBackoff, install, retry

@@ -15,7 +15,7 @@ from repro.core import PoolConfig
 from repro.core.monitoring import response_times
 from repro.kernel import CostModel, Kernel, Par
 from repro.stdlib import Dictionary
-from repro.workloads import Zipf, word_corpus
+from repro.workloads import word_corpus
 
 from harness import print_table
 

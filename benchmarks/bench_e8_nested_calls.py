@@ -8,7 +8,6 @@ manager's extra hops on a nested chain of configurable depth.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines import AdaTask
 from repro.core import (

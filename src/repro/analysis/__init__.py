@@ -1,0 +1,51 @@
+"""repro.analysis — ALPS protocol linter and deadlock diagnosis.
+
+Two complementary halves:
+
+* **Static** (:mod:`.static`): a pure-AST linter over ``@manager_process``
+  bodies — never imports the checked code — reporting typed
+  :class:`~repro.analysis.findings.Finding` records with stable
+  ``ALPxxx`` codes (catalogue in :mod:`.findings` and DESIGN.md §10).
+  CLI: ``python -m repro.analysis`` / ``tools/alpslint.py``.
+* **Runtime** (:mod:`repro.kernel.waitgraph`, re-exported here): the
+  structured wait-for graph attached to ``DeadlockError.wait_for`` at
+  quiescence, and the opt-in :class:`LiveDeadlockDetector` that flags
+  circular waits and exhausted hidden pools *before* quiescence.
+
+The two halves share the code namespace: a defect the linter reports as
+``ALP104`` raises ``ProtocolError(code="ALP104")`` when provoked at
+runtime.
+"""
+
+from ..kernel.waitgraph import (
+    PoolReport,
+    WaitEdge,
+    WaitForSnapshot,
+    build_wait_graph,
+)
+from .findings import CATALOGUE, Check, Finding, Severity
+from .live import LiveDeadlockDetector
+from .static import (
+    ManagerLinter,
+    lint_class,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "CATALOGUE",
+    "Check",
+    "Finding",
+    "LiveDeadlockDetector",
+    "ManagerLinter",
+    "PoolReport",
+    "Severity",
+    "WaitEdge",
+    "WaitForSnapshot",
+    "build_wait_graph",
+    "lint_class",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,206 @@
+"""``alpslint`` — command-line front end of the ALPS protocol linter.
+
+Run as ``python -m repro.analysis`` (or via ``tools/alpslint.py``)::
+
+    python -m repro.analysis src/repro examples          # lint trees
+    python -m repro.analysis --format json file.py       # machine output
+    python -m repro.analysis --select ALP101,ALP111 ...  # only some checks
+    python -m repro.analysis --list-checks               # show catalogue
+    python -m repro.analysis --check-corpus tests/fixtures/analysis
+
+Exit codes: 0 clean, 1 findings reported (or corpus failures), 2 usage /
+input errors.  ``--check-corpus`` is the CI self-test: every
+``bad_*.py`` fixture must produce exactly the codes named in its
+``# expect: ALPxxx [ALPyyy ...]`` header and every ``good_*.py`` must
+lint clean — and an *empty* corpus is a failure, so a bad glob can
+never silently skip the whole suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+from .findings import CATALOGUE, Finding, Severity
+from .static import lint_file, lint_paths
+
+_EXPECT_RE = re.compile(r"^#\s*expect:\s*(.+)$", re.MULTILINE)
+
+
+def _parse_codes(raw: str | None) -> set[str] | None:
+    if raw is None:
+        return None
+    codes = {part.strip().upper() for part in raw.split(",") if part.strip()}
+    unknown = codes - set(CATALOGUE)
+    if unknown:
+        raise SystemExit(
+            f"alpslint: unknown code(s): {', '.join(sorted(unknown))} "
+            f"(see --list-checks)"
+        )
+    return codes
+
+
+def _filter(
+    findings: list[Finding], select: set[str] | None, ignore: set[str] | None
+) -> list[Finding]:
+    out = findings
+    if select is not None:
+        out = [f for f in out if f.code in select]
+    if ignore is not None:
+        out = [f for f in out if f.code not in ignore]
+    return out
+
+
+def _print_findings(findings: list[Finding], fmt: str, stream) -> None:
+    if fmt == "json":
+        json.dump([f.to_dict() for f in findings], stream, indent=2)
+        stream.write("\n")
+        return
+    for finding in findings:
+        print(finding.render(), file=stream)
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    if findings:
+        print(
+            f"alpslint: {errors} error(s), {warnings} warning(s)", file=stream
+        )
+
+
+def _list_checks(stream) -> None:
+    for code in sorted(CATALOGUE):
+        check = CATALOGUE[code]
+        print(f"{code}  {check.severity}  {check.title}", file=stream)
+        print(f"        {check.summary}", file=stream)
+
+
+def expected_codes(source: str) -> set[str]:
+    """Codes declared in ``# expect:`` header comments of a fixture."""
+    codes: set[str] = set()
+    for match in _EXPECT_RE.finditer(source):
+        codes.update(
+            part.strip().upper()
+            for part in re.split(r"[,\s]+", match.group(1))
+            if part.strip()
+        )
+    return codes
+
+
+def check_corpus(directory: str, stream) -> int:
+    """Verify the bad/good fixture corpus; returns a process exit code."""
+    if not os.path.isdir(directory):
+        print(f"alpslint: corpus directory not found: {directory}", file=stream)
+        return 2
+    bad = sorted(
+        f for f in os.listdir(directory)
+        if f.startswith("bad_") and f.endswith(".py")
+    )
+    good = sorted(
+        f for f in os.listdir(directory)
+        if f.startswith("good_") and f.endswith(".py")
+    )
+    if not bad or not good:
+        print(
+            f"alpslint: corpus at {directory} is empty or one-sided "
+            f"({len(bad)} bad, {len(good)} good fixture(s)) — refusing to "
+            f"pass a vacuous check",
+            file=stream,
+        )
+        return 1
+    failures = 0
+    for name in bad:
+        path = os.path.join(directory, name)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        expected = expected_codes(source)
+        if not expected:
+            print(f"FAIL {name}: no '# expect: ALPxxx' header", file=stream)
+            failures += 1
+            continue
+        found = {f.code for f in lint_file(path)}
+        missing = expected - found
+        if missing:
+            print(
+                f"FAIL {name}: expected {sorted(expected)}, linter found "
+                f"{sorted(found)} (missing {sorted(missing)})",
+                file=stream,
+            )
+            failures += 1
+        else:
+            print(f"ok   {name}: {sorted(found)}", file=stream)
+    for name in good:
+        path = os.path.join(directory, name)
+        findings = lint_file(path)
+        if findings:
+            print(
+                f"FAIL {name}: expected clean, got "
+                f"{sorted({f.code for f in findings})}",
+                file=stream,
+            )
+            for finding in findings:
+                print("     " + finding.render(), file=stream)
+            failures += 1
+        else:
+            print(f"ok   {name}: clean", file=stream)
+    print(
+        f"alpslint corpus: {len(bad)} bad + {len(good)} good fixture(s), "
+        f"{failures} failure(s)",
+        file=stream,
+    )
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="alpslint",
+        description="Static protocol linter for ALPS objects.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="python files or directories to lint"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--select", metavar="CODES", help="comma-separated codes to enable"
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES", help="comma-separated codes to disable"
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true", help="print the check catalogue"
+    )
+    parser.add_argument(
+        "--check-corpus",
+        metavar="DIR",
+        help="self-test: verify the bad/good fixture corpus in DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        _list_checks(sys.stdout)
+        return 0
+    if args.check_corpus:
+        return check_corpus(args.check_corpus, sys.stdout)
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("alpslint: no paths given", file=sys.stderr)
+        return 2
+
+    for path in args.paths:
+        if not os.path.exists(path):
+            print(f"alpslint: path not found: {path}", file=sys.stderr)
+            return 2
+
+    try:
+        findings = lint_paths(args.paths)
+    except SyntaxError as exc:
+        print(f"alpslint: cannot parse {exc.filename}: {exc}", file=sys.stderr)
+        return 2
+    findings = _filter(
+        findings, _parse_codes(args.select), _parse_codes(args.ignore)
+    )
+    _print_findings(findings, args.fmt, sys.stdout)
+    return 1 if any(f.severity is Severity.ERROR for f in findings) else 0

@@ -1,0 +1,189 @@
+"""Typed findings and the ALP check catalogue.
+
+Every defect the linter (or the runtime) can report carries a stable
+``ALPxxx`` code.  Codes in the 10x range are detected statically by
+:mod:`repro.analysis.static`; codes in the 20x range can only manifest
+at runtime, but share the namespace so a test that provokes one can
+assert on ``ProtocolError.code`` with the same constant the linter
+would print.  The full table is documented in DESIGN.md §10.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Check:
+    """One entry of the catalogue: a defect class the linter knows."""
+
+    code: str
+    title: str
+    severity: Severity
+    summary: str
+
+
+#: The check catalogue.  Keep in sync with DESIGN.md §10.
+CATALOGUE: dict[str, Check] = {
+    check.code: check
+    for check in (
+        Check(
+            "ALP101",
+            "intercepted-never-accepted",
+            Severity.ERROR,
+            "An entry named in the intercepts clause has no accept site in "
+            "the manager body: every call to it stalls forever "
+            "(compile-time starvation).",
+        ),
+        Check(
+            "ALP102",
+            "await-without-start",
+            Severity.ERROR,
+            "The manager awaits an entry it never starts; the await guard "
+            "can never become ready.",
+        ),
+        Check(
+            "ALP103",
+            "started-never-finished",
+            Severity.ERROR,
+            "The manager starts an entry but neither awaits nor finishes "
+            "it; callers are never resumed.",
+        ),
+        Check(
+            "ALP104",
+            "finish-without-await",
+            Severity.ERROR,
+            "The manager starts an entry and finishes it without an "
+            "intervening await; at runtime finish requires the call to be "
+            "awaited (or accepted, for combining).",
+        ),
+        Check(
+            "ALP105",
+            "intercept-arity",
+            Severity.ERROR,
+            "An intercepts declaration is inconsistent with the entry "
+            "signature: more intercepted params/results than the entry "
+            "declares, or hidden params/results on an entry the manager "
+            "does not intercept.",
+        ),
+        Check(
+            "ALP106",
+            "when-arity",
+            Severity.ERROR,
+            "A when-condition takes a different number of arguments than "
+            "the intercepted value subsequence it is evaluated on "
+            "(icpt.params for accept, icpt.results for await).",
+        ),
+        Check(
+            "ALP107",
+            "finish-result-arity",
+            Severity.ERROR,
+            "A finish supplies a result count matching neither the "
+            "intercepted results of an awaited call nor the full result "
+            "list of a combined one.",
+        ),
+        Check(
+            "ALP108",
+            "start-hidden-arity",
+            Severity.ERROR,
+            "A start supplies a hidden-parameter count different from the "
+            "entry's declared hidden_params.",
+        ),
+        Check(
+            "ALP109",
+            "constant-false-when",
+            Severity.ERROR,
+            "A when-condition is constant false: the guard can never fire "
+            "and calls queued behind it starve.",
+        ),
+        Check(
+            "ALP110",
+            "slot-out-of-range",
+            Severity.ERROR,
+            "A quantified guard names a slot outside the entry's hidden "
+            "procedure array (arrays are indexed 0..size-1; entries "
+            "without an array clause have a single slot 0).",
+        ),
+        Check(
+            "ALP111",
+            "manager-self-call",
+            Severity.ERROR,
+            "The manager invokes an intercepted entry of its own object; "
+            "it would block waiting for itself to accept (self-deadlock).",
+        ),
+        Check(
+            "ALP112",
+            "unknown-procedure",
+            Severity.ERROR,
+            "An intercepts clause, guard, accept/await or #pending "
+            "expression names a procedure the object does not declare.",
+        ),
+        Check(
+            "ALP113",
+            "guard-on-non-intercepted",
+            Severity.ERROR,
+            "An accept/await guard names an entry the manager does not "
+            "intercept; the runtime would reject it.",
+        ),
+        # -- runtime-only codes (shared namespace, raised as
+        #    ProtocolError(code=...) by repro.core) -------------------------
+        Check(
+            "ALP201",
+            "start-on-non-accepted",
+            Severity.ERROR,
+            "start issued for a call that is not in the accepted state "
+            "(runtime protocol violation).",
+        ),
+    )
+}
+
+
+@dataclass
+class Finding:
+    """One reported defect, positioned in a source file."""
+
+    code: str
+    message: str
+    path: str = "<source>"
+    line: int = 0
+    col: int = 0
+    obj: str | None = None
+    entry: str | None = None
+
+    @property
+    def check(self) -> Check:
+        return CATALOGUE[self.code]
+
+    @property
+    def severity(self) -> Severity:
+        return self.check.severity
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}"
+        scope = f" [{self.obj}]" if self.obj else ""
+        return f"{where}: {self.code} {self.severity}:{scope} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "title": self.check.title,
+            "severity": self.severity.value,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "obj": self.obj,
+            "entry": self.entry,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.render()

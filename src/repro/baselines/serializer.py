@@ -26,7 +26,6 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Callable
 
-from ..errors import AlpsError
 from .semaphore import P, Semaphore, V
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -192,6 +192,7 @@ class Send(Syscall):
             ).inc()
             proc.state = ProcessState.BLOCKED
             proc.blocked_on = f"send({channel.name})"
+            proc.waiting_for = ("send", channel)
             channel._blocked_senders.append((proc, self.values))
             return
         channel._enqueue(self.values)

@@ -173,12 +173,13 @@ class Call:
             return None
         return self.accepted_at - self.issued_at
 
-    def _expect_state(self, *allowed: CallState) -> None:
+    def _expect_state(self, *allowed: CallState, code: str | None = None) -> None:
         if self.state not in allowed:
             names = "/".join(s.value for s in allowed)
             raise ProtocolError(
                 f"call #{self.call_id} to {self.entry}[{self.slot}] is "
-                f"{self.state.value}, expected {names}"
+                f"{self.state.value}, expected {names}",
+                code=code,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -28,7 +28,7 @@ import copy
 from typing import TYPE_CHECKING, Any, Callable
 
 from ..errors import ObjectModelError
-from ..kernel.process import PRIORITY_MANAGER, Process
+from ..kernel.process import Process
 from .entry import EntrySpec, ObjectDefinition
 from .manager import ManagerSpec
 from .pool import DYNAMIC, PoolConfig, ServerPool
@@ -157,6 +157,12 @@ class AlpsObject(metaclass=AlpsObjectMeta):
     ) -> None:
         self.kernel = kernel
         self.alps_name = name or type(self).__name__
+        # Registered so the wait-for graph can scan hidden procedure
+        # arrays for exhaustion (kernels created before this field existed
+        # are tolerated for pickled/stubbed kernels in tests).
+        registry = getattr(kernel, "_alps_objects", None)
+        if registry is not None:
+            registry.append(self)
         #: Set by the network layer when the object is placed on a node.
         self.node = None
         #: Set by the fault injector when this object's node crashes;

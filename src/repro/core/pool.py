@@ -34,7 +34,6 @@ from ..kernel.process import PRIORITY_NORMAL
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.kernel import Kernel
-    from ..kernel.process import Process
     from .calls import Call
 
 

@@ -96,6 +96,7 @@ class EntryCall(Syscall):
         call = Call(self.obj, spec, tuple(self.args), proc)
         proc.state = ProcessState.BLOCKED
         proc.blocked_on = f"call {self.obj.alps_name}.{self.proc_name}"
+        proc.waiting_for = ("call", call)
         # The caller-perceived issue instant — before any network delay.
         call.issued_at = kernel.clock.now
         if kernel.obs.enabled:
@@ -279,6 +280,28 @@ class AwaitGuard(Guard):
     def waitables(self) -> Iterable[Waitable]:
         return (self.runtime.completion,)
 
+    def wait_targets(self, kernel: "Kernel") -> list:
+        """Processes whose progress could make this guard ready.
+
+        Used by the wait-for graph (:mod:`repro.kernel.waitgraph`): an
+        ``await`` fires when a started body reaches BODY_DONE, so while
+        blocked the selector is waiting on the body processes of the
+        matching STARTED calls.
+        """
+        if self.only_call is not None:
+            calls = [self.only_call]
+        elif self.slot is None:
+            calls = [c for c in self.runtime.slots if c is not None]
+        elif 0 <= self.slot < self.runtime.array_size:
+            calls = [c for c in (self.runtime.slots[self.slot],) if c is not None]
+        else:
+            calls = []
+        return [
+            c.body_process
+            for c in calls
+            if c.state == CallState.STARTED and c.body_process is not None
+        ]
+
     def describe(self) -> str:
         slot = "" if self.slot is None else f"[{self.slot}]"
         return f"await {self.runtime.spec.name}{slot}"
@@ -334,11 +357,12 @@ class Start(Syscall):
     def handle(self, kernel: "Kernel", proc: "Process", cost: int) -> None:
         call = self.call
         try:
-            call._expect_state(CallState.ACCEPTED)
+            call._expect_state(CallState.ACCEPTED, code="ALP201")
             if len(self.hidden) != call.spec.hidden_params:
                 raise ProtocolError(
                     f"start {call.entry}: expected {call.spec.hidden_params} "
-                    f"hidden parameter(s), got {len(self.hidden)}"
+                    f"hidden parameter(s), got {len(self.hidden)}",
+                    code="ALP108",
                 )
         except ProtocolError as exc:
             kernel.schedule_throw(proc, exc)
@@ -375,7 +399,7 @@ class Finish(Syscall):
         runtime = _runtime_of(call.obj, call.entry)
         spec = call.spec
         try:
-            call._expect_state(CallState.AWAITED, CallState.ACCEPTED)
+            call._expect_state(CallState.AWAITED, CallState.ACCEPTED, code="ALP104")
             if call.state == CallState.AWAITED:
                 # Normal termination: manager overrides the intercepted
                 # prefix of the results (or forwards it untouched).
@@ -383,7 +407,8 @@ class Finish(Syscall):
                 if self._explicit and len(self.results) != icpt:
                     raise ProtocolError(
                         f"finish {call.entry}: manager must supply exactly "
-                        f"the {icpt} intercepted result(s), got {len(self.results)}"
+                        f"the {icpt} intercepted result(s), got {len(self.results)}",
+                        code="ALP107",
                     )
                 prefix = self.results if self._explicit else call.body_results[:icpt]
                 final = tuple(prefix) + tuple(call.body_results[icpt : spec.returns])
@@ -395,7 +420,8 @@ class Finish(Syscall):
                     raise ProtocolError(
                         f"finish-without-start {call.entry}: manager must "
                         f"supply all {spec.returns} result(s), got "
-                        f"{len(self.results)}"
+                        f"{len(self.results)}",
+                        code="ALP107",
                     )
                 final = tuple(self.results)
                 call.combined = True

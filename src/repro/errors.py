@@ -22,14 +22,23 @@ class DeadlockError(KernelError):
 
     The kernel detects deadlock when the ready queue and the timer queue are
     both empty while at least one process is still blocked.  The message
-    includes a dump of every blocked process and what it is waiting for, so
-    the failure is diagnosable from the exception alone.
+    includes a dump of every blocked process and what it is waiting for —
+    and, when the structured wait-for graph identifies circular waits, the
+    actual cycle with object/entry/slot labels — so the failure is
+    diagnosable from the exception alone.
     """
 
-    def __init__(self, message: str, blocked: list | None = None) -> None:
+    def __init__(
+        self, message: str, blocked: list | None = None, wait_for=None
+    ) -> None:
         super().__init__(message)
         #: Snapshot of the blocked processes at detection time.
         self.blocked = list(blocked or [])
+        #: Structured wait-for snapshot
+        #: (:class:`repro.kernel.waitgraph.WaitForSnapshot`) so tests and
+        #: the faults runtime can assert on the cycle instead of parsing
+        #: the rendered text.  ``None`` when no graph was built.
+        self.wait_for = wait_for
 
 
 class ProcessError(KernelError):
@@ -65,7 +74,20 @@ class ProtocolError(AlpsError):
 
     Examples: ``start`` on a call that was never accepted, ``finish`` on a
     call that is still executing, double ``accept`` of the same slot.
+
+    ``code`` carries the ``repro.analysis`` finding code of the matching
+    static check (e.g. ``ALP104`` for finish-without-await), so a defect
+    that slipped past — or was suppressed in — the linter still identifies
+    itself by the same code at runtime.  The code is also prefixed onto
+    the message, ``[ALP104] finish ...``.
     """
+
+    def __init__(self, message: str, code: str | None = None) -> None:
+        if code is not None:
+            message = f"[{code}] {message}"
+        super().__init__(message)
+        #: Finding code shared with the static linter, if one applies.
+        self.code = code
 
 
 class CallError(AlpsError):

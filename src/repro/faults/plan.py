@@ -20,7 +20,7 @@ Fault types (the paper's §4 transputer machine, made mortal):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import NetworkError
 

@@ -56,7 +56,6 @@ from .syscalls import (
     Self,
     SetPriority,
     Spawn,
-    Syscall,
     Yield,
 )
 from .tracing import Trace
@@ -145,6 +144,10 @@ class Kernel:
         #: trace/process names).
         self._next_call_id = 0
         self._processes: dict[int, Process] = {}
+        #: Every AlpsObject created on this kernel (registered by
+        #: ``AlpsObject.__init__``); the wait-for graph scans it for
+        #: exhausted hidden procedure arrays.
+        self._alps_objects: list[Any] = []
         self._pending_selects: dict[int, _PendingSelect] = {}
         self._last_stepped: Process | None = None
         self._running = False
@@ -262,6 +265,7 @@ class Kernel:
         proc.prepare_resume(value)
         proc.state = ProcessState.READY
         proc.blocked_on = None
+        proc.waiting_for = None
         proc.epoch += 1
         if cost:
             self._after_cpu(cost, proc.priority, lambda: self._schedule_step(proc))
@@ -275,6 +279,7 @@ class Kernel:
         proc.prepare_throw(exc)
         proc.state = ProcessState.READY
         proc.blocked_on = None
+        proc.waiting_for = None
         proc.epoch += 1
         self._schedule_step(proc)
 
@@ -377,11 +382,17 @@ class Kernel:
             if p.alive and not p.daemon and p.state == ProcessState.BLOCKED
         ]
         if blocked:
-            raise DeadlockError(
+            from .waitgraph import build_wait_graph
+
+            snapshot = build_wait_graph(self)
+            message = (
                 "deadlock: no events pending but these processes are blocked:\n"
-                + format_blocked(blocked),
-                blocked=blocked,
+                + format_blocked(blocked)
             )
+            cycle_text = snapshot.describe_cycles()
+            if cycle_text:
+                message += "\n" + cycle_text
+            raise DeadlockError(message, blocked=blocked, wait_for=snapshot)
 
     # ------------------------------------------------------------------
     # Process stepping and syscall dispatch
@@ -454,6 +465,7 @@ class Kernel:
                     proc.epoch += 1
                     proc.state = ProcessState.READY
                     proc.blocked_on = None
+                    proc.waiting_for = None
                     proc.prepare_resume(None)
                     self._schedule_step(proc)
 
@@ -531,6 +543,7 @@ class Kernel:
 
         proc.state = ProcessState.BLOCKED
         proc.blocked_on = f"join({target.name})"
+        proc.waiting_for = ("join", target)
 
         def on_exit(dead: Process) -> None:
             if dead.state == ProcessState.FAILED and dead.exception is not None:
@@ -551,8 +564,10 @@ class Kernel:
             return
         results: list[Any] = [None] * len(par.thunks)
         remaining = {"count": len(par.thunks), "failed": False}
+        children: list[Process] = []
         proc.state = ProcessState.BLOCKED
         proc.blocked_on = f"par({len(par.thunks)})"
+        proc.waiting_for = ("par", children)
 
         def make_watcher(index: int) -> Callable[[Process], None]:
             def on_exit(child: Process) -> None:
@@ -576,6 +591,7 @@ class Kernel:
                 priority=par.priority,
                 charge_to=proc,
             )
+            children.append(child)
             child.exit_watchers.append(make_watcher(index))
 
     # ------------------------------------------------------------------
@@ -651,6 +667,7 @@ class Kernel:
         pending.poll_count = len(feasible)
         proc.state = ProcessState.BLOCKED
         proc.blocked_on = "select(" + ", ".join(g.describe() for _, g in feasible) + ")"
+        proc.waiting_for = ("select", [g for _, g in feasible])
         self._pending_selects[proc.pid] = pending
         for _i, guard in feasible:
             for waitable in guard.waitables():

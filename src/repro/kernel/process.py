@@ -62,6 +62,7 @@ class Process:
         "result",
         "exception",
         "blocked_on",
+        "waiting_for",
         "_resume_value",
         "_resume_exception",
         "exit_watchers",
@@ -101,6 +102,12 @@ class Process:
         self.exception: BaseException | None = None
         #: Human-readable description of what the process is blocked on.
         self.blocked_on: str | None = None
+        #: Structured description of the same thing, for the wait-for
+        #: graph (:mod:`repro.kernel.waitgraph`): a ``(kind, payload)``
+        #: tuple — ``("call", call)``, ``("join", target)``,
+        #: ``("par", children)``, ``("select", guards)``,
+        #: ``("send", channel)`` — or None while runnable.
+        self.waiting_for: tuple[str, Any] | None = None
         self._resume_value: Any = None
         self._resume_exception: BaseException | None = None
         #: Callbacks invoked (with this process) when it terminates.

@@ -1,0 +1,410 @@
+"""The runtime wait-for graph: who is blocked on whom, and why.
+
+Built on the structured ``Process.waiting_for`` records the kernel (and
+the entry-call machinery in ``repro.core``) maintain alongside the
+human-readable ``blocked_on`` strings.  Each blocked process becomes a
+node; an edge ``P → Q`` means "P cannot make progress until Q acts",
+labelled with the object/entry/slot involved:
+
+* a caller blocked in an entry call waits on the target object's
+  **manager** while the call is attached/accepted/awaiting ``finish``,
+  on the **body process** while the body runs, and on the **slot
+  holders** while the hidden procedure array is exhausted;
+* a manager blocked in a ``select`` whose ``await`` guards cannot fire
+  waits on the started bodies those guards watch
+  (:meth:`~repro.core.primitives.AwaitGuard.wait_targets`);
+* ``join``/``par`` waiters wait on their targets/children.
+
+A cycle of such edges is a deadlock: every participant needs another
+participant to move first.  :meth:`WaitForSnapshot.cycles` finds them
+(Tarjan SCCs), and the kernel attaches the whole snapshot to
+:class:`~repro.errors.DeadlockError` as ``.wait_for`` so tests and the
+faults runtime can assert on the cycle structurally instead of parsing
+the exception text.  The opt-in *live* detector
+(:class:`repro.analysis.LiveDeadlockDetector`) builds the same snapshot
+periodically and flags definite cycles — and exhausted hidden pools —
+*before* quiescence.
+
+Edges are marked *definite* unless a pending timer could dissolve them
+(a timed entry call, or a select that also holds a feasible ``Timeout``
+guard); the live detector only raises on all-definite cycles, while at
+quiescence the distinction is moot (an empty event queue has no timers
+left to fire).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+from .process import Process, ProcessState
+from .timeouts import Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+
+class WaitEdge:
+    """One "waits on" relation: ``src`` cannot proceed until ``dst`` acts."""
+
+    __slots__ = ("src", "dst", "label", "definite", "obj", "entry", "slot")
+
+    def __init__(
+        self,
+        src: Process,
+        dst: Process,
+        label: str,
+        definite: bool = True,
+        obj: str | None = None,
+        entry: str | None = None,
+        slot: int | None = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.label = label
+        self.definite = definite
+        #: ``alps_name`` of the object involved, if the wait is an entry
+        #: call or a manager-side await; None for join/par edges.
+        self.obj = obj
+        self.entry = entry
+        self.slot = slot
+
+    def describe(self) -> str:
+        return f"{self.src.name} --[{self.label}]--> {self.dst.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WaitEdge {self.describe()}>"
+
+
+class PoolReport:
+    """A hidden procedure array with callers queued behind full slots."""
+
+    __slots__ = ("obj", "entry", "array_size", "waiting", "holders")
+
+    def __init__(
+        self,
+        obj: str,
+        entry: str,
+        array_size: int,
+        waiting: int,
+        holders: list[str],
+    ) -> None:
+        self.obj = obj
+        self.entry = entry
+        self.array_size = array_size
+        #: Calls queued with no free slot to attach to.
+        self.waiting = waiting
+        #: ``"entry[slot]=state"`` descriptions of the occupying calls.
+        self.holders = holders
+
+    def describe(self) -> str:
+        return (
+            f"{self.obj}.{self.entry}[1..{self.array_size}] exhausted: "
+            f"{self.waiting} caller(s) queued behind "
+            f"{', '.join(self.holders) or 'nothing'}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PoolReport {self.describe()}>"
+
+
+class WaitForSnapshot:
+    """The wait-for graph at one instant, attached to ``DeadlockError``."""
+
+    def __init__(
+        self,
+        time: int,
+        processes: list[Process],
+        edges: list[WaitEdge],
+        pools: list[PoolReport],
+    ) -> None:
+        #: Virtual time the snapshot was taken.
+        self.time = time
+        #: Every blocked, alive process (daemons included — a manager in
+        #: a cycle is the interesting node).
+        self.processes = processes
+        self.edges = edges
+        #: Exhausted hidden procedure arrays (slots all held, calls queued).
+        self.pools = pools
+
+    # -- queries -----------------------------------------------------------
+
+    def edges_from(self, proc: Process) -> list[WaitEdge]:
+        return [e for e in self.edges if e.src is proc]
+
+    def cycles(self, definite_only: bool = False) -> list[list[WaitEdge]]:
+        """Circular waits, one edge-cycle per strongly connected component.
+
+        Returns each cycle as the list of edges walked head-to-tail (the
+        last edge returns to the first edge's source).  With
+        ``definite_only`` edges that a pending timer could dissolve are
+        excluded before searching.
+        """
+        edges = [e for e in self.edges if e.definite] if definite_only else self.edges
+        adjacency: dict[int, list[WaitEdge]] = {}
+        for edge in edges:
+            adjacency.setdefault(edge.src.pid, []).append(edge)
+        cycles: list[list[WaitEdge]] = []
+        for component in _tarjan_sccs(adjacency):
+            if len(component) == 1:
+                pid = next(iter(component))
+                if not any(e.dst.pid == pid for e in adjacency.get(pid, ())):
+                    continue  # trivial SCC without a self-loop
+            cycle = _walk_cycle(component, adjacency)
+            if cycle:
+                cycles.append(cycle)
+        return cycles
+
+    # -- rendering ---------------------------------------------------------
+
+    def describe_cycle(self, cycle: list[WaitEdge]) -> str:
+        if not cycle:
+            return ""
+        parts = [cycle[0].src.name]
+        for edge in cycle:
+            parts.append(f"--[{edge.label}]--> {edge.dst.name}")
+        return " ".join(parts)
+
+    def describe_cycles(self) -> str:
+        """Multi-line rendering of every cycle (and exhausted pool)."""
+        lines = []
+        for cycle in self.cycles():
+            lines.append("wait-for cycle: " + self.describe_cycle(cycle))
+        for pool in self.pools:
+            lines.append("exhausted pool: " + pool.describe())
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        lines = [f"wait-for graph at t={self.time}:"]
+        for edge in self.edges:
+            lines.append("  " + edge.describe())
+        if not self.edges:
+            lines.append("  (no edges)")
+        tail = self.describe_cycles()
+        if tail:
+            lines.append(tail)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<WaitForSnapshot t={self.time} "
+            f"{len(self.processes)} blocked, {len(self.edges)} edges>"
+        )
+
+
+def _tarjan_sccs(adjacency: dict[int, list[WaitEdge]]) -> list[set[int]]:
+    """Strongly connected components of the pid graph (iterative Tarjan)."""
+    index: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    sccs: list[set[int]] = []
+    counter = [0]
+
+    for root in adjacency:
+        if root in index:
+            continue
+        work = [(root, iter(adjacency.get(root, ())))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, edges = work[-1]
+            advanced = False
+            for edge in edges:
+                nxt = edge.dst.pid
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(adjacency.get(nxt, ()))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: set[int] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+def _walk_cycle(
+    component: set[int], adjacency: dict[int, list[WaitEdge]]
+) -> list[WaitEdge]:
+    """Extract one concrete edge cycle inside an SCC."""
+    start = min(component)
+    path: list[WaitEdge] = []
+    seen: dict[int, int] = {start: 0}
+    node = start
+    while True:
+        edge = next(
+            (e for e in adjacency.get(node, ()) if e.dst.pid in component), None
+        )
+        if edge is None:
+            return []  # no intra-component edge (cannot happen for real SCCs)
+        path.append(edge)
+        node = edge.dst.pid
+        if node in seen:
+            return path[seen[node] :]
+        seen[node] = len(path)
+
+
+def _call_target_edges(proc: Process, call: Any) -> Iterable[WaitEdge]:
+    """Edges for a process blocked in an entry call (RPC semantics)."""
+    from ..core.calls import CallState  # local import: kernel < core layering
+
+    obj = call.obj
+    obj_name = getattr(obj, "alps_name", str(obj))
+    slot_txt = f"[{call.slot}]" if call.slot is not None else ""
+    label = f"call {obj_name}.{call.entry}{slot_txt}"
+    definite = call.timeout is None
+    manager = getattr(obj, "manager_process", None)
+
+    if call.state == CallState.STARTED:
+        body = call.body_process
+        if body is not None and body.alive:
+            yield WaitEdge(
+                proc,
+                body,
+                label + " (body running)",
+                definite,
+                obj=obj_name,
+                entry=call.entry,
+                slot=call.slot,
+            )
+        return
+
+    if call.state in (CallState.ATTACHED, CallState.ACCEPTED):
+        phase = "awaiting accept" if call.state == CallState.ATTACHED else "awaiting start/finish"
+    elif call.state in (CallState.BODY_DONE, CallState.AWAITED):
+        phase = "awaiting finish"
+    else:
+        phase = "awaiting slot" if call.slot is None else "pending"
+
+    if call.spec.intercepted and manager is not None and manager.alive:
+        yield WaitEdge(
+            proc,
+            manager,
+            f"{label} ({phase})",
+            definite,
+            obj=obj_name,
+            entry=call.entry,
+            slot=call.slot,
+        )
+    if call.slot is None:
+        # Pool exhaustion: also wait on whoever holds the slots.
+        runtime = getattr(obj, "_entry_runtime", lambda _n: None)(call.entry)
+        if runtime is None:
+            return
+        for held in runtime.slots:
+            if held is None or held is call:
+                continue
+            holder = None
+            if held.state == CallState.STARTED and held.body_process is not None:
+                holder = held.body_process
+            elif not call.spec.intercepted:
+                holder = None  # unmanaged attached call: body imminent
+            if holder is not None and holder.alive:
+                yield WaitEdge(
+                    proc,
+                    holder,
+                    f"{label} (slot {held.slot} held by call #{held.call_id})",
+                    definite,
+                    obj=obj_name,
+                    entry=call.entry,
+                    slot=held.slot,
+                )
+
+
+def build_wait_graph(kernel: "Kernel") -> WaitForSnapshot:
+    """Snapshot the wait-for graph of every blocked process on ``kernel``."""
+    blocked = [
+        p
+        for p in kernel.processes()
+        if p.alive and p.state == ProcessState.BLOCKED
+    ]
+    edges: list[WaitEdge] = []
+    for proc in blocked:
+        record = proc.waiting_for
+        if record is None:
+            continue
+        kind, payload = record
+        if kind == "call":
+            edges.extend(_call_target_edges(proc, payload))
+        elif kind == "join":
+            target = payload
+            if target.alive:
+                edges.append(WaitEdge(proc, target, f"join({target.name})"))
+        elif kind == "par":
+            for child in payload:
+                if child.alive:
+                    edges.append(WaitEdge(proc, child, f"par({child.name})"))
+        elif kind == "select":
+            # A select with a live Timeout guard will fire on its own;
+            # edges derived from it are not definite.
+            definite = not any(
+                isinstance(g, Timeout) and not g._consumed for g in payload
+            )
+            for guard in payload:
+                targets = getattr(guard, "wait_targets", None)
+                if targets is None:
+                    continue
+                obj_name = getattr(
+                    getattr(guard, "runtime", None), "obj", None
+                )
+                obj_name = getattr(obj_name, "alps_name", None)
+                entry = getattr(getattr(guard, "runtime", None), "spec", None)
+                entry = getattr(entry, "name", None)
+                for target in targets(kernel):
+                    if target is not None and target.alive:
+                        edges.append(
+                            WaitEdge(
+                                proc,
+                                target,
+                                guard.describe() + f" (body {target.name})",
+                                definite,
+                                obj=obj_name,
+                                entry=entry,
+                            )
+                        )
+        # "send" and unknown kinds contribute no edges: a blocked channel
+        # sender can be released by any future receiver.
+
+    pools: list[PoolReport] = []
+    for obj in getattr(kernel, "_alps_objects", ()):  # registered AlpsObjects
+        runtimes = getattr(obj, "_runtimes", None)
+        if not runtimes:
+            continue
+        for runtime in runtimes.values():
+            if not runtime.waiting:
+                continue
+            if any(slot is None for slot in runtime.slots):
+                continue  # free capacity exists; attachment is imminent
+            pools.append(
+                PoolReport(
+                    obj.alps_name,
+                    runtime.spec.name,
+                    runtime.array_size,
+                    len(runtime.waiting),
+                    [
+                        f"{runtime.spec.name}[{c.slot}]={c.state.value}"
+                        for c in runtime.slots
+                        if c is not None
+                    ],
+                )
+            )
+
+    return WaitForSnapshot(kernel.clock.now, blocked, edges, pools)

@@ -15,7 +15,7 @@ cached; topology changes invalidate the cache).
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..errors import NetworkError
 

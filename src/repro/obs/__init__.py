@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from .metrics import Counter, Gauge, Histogram, MetricError, MetricsRegistry
+from .openmetrics import parse_openmetrics, render_openmetrics
 from .sinks import (
     ChromeTraceSink,
     JsonlSink,
@@ -61,6 +62,8 @@ __all__ = [
     "JsonlSink",
     "ChromeTraceSink",
     "validate_chrome_trace",
+    "render_openmetrics",
+    "parse_openmetrics",
 ]
 
 

@@ -1,0 +1,185 @@
+"""OpenMetrics text exposition for the typed metrics registry.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` in the
+`OpenMetrics text format <https://openmetrics.io>`_ so a benchmark run
+can drop a scrape-compatible artifact next to its JSONL trace (and a
+real exporter sidecar could serve it verbatim).
+
+Mapping rules — the registry is bucket-free, so histograms become
+summaries plus min/max gauges:
+
+===================  ====================================================
+registry metric      OpenMetrics exposition
+===================  ====================================================
+Counter ``a.b``      ``a_b`` of type ``counter`` (sample ``a_b_total``)
+Gauge ``a.b``        ``a_b`` of type ``gauge``
+Histogram ``a.b``    ``a_b`` of type ``summary`` (``a_b_count``,
+                     ``a_b_sum``) + gauges ``a_b_min`` / ``a_b_max``
+===================  ====================================================
+
+Dots in registry names become underscores (OpenMetrics names admit only
+``[a-zA-Z0-9_:]``); the original dotted name is preserved in the HELP
+line so :func:`parse_openmetrics` can round-trip exactly — the
+round-trip is tested, keeping the renderer honest about escaping.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _om_name(dotted: str) -> str:
+    """Registry name → OpenMetrics metric name."""
+    name = _NAME_OK.sub("_", dotted.replace(".", "_"))
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _unescape_help(text: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        if text[i] == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            out.append("\n" if nxt == "n" else nxt)
+            i += 2
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):  # pragma: no cover - registry never stores bools
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_openmetrics(registry: MetricsRegistry) -> str:
+    """The registry as an OpenMetrics text exposition (ends in ``# EOF``)."""
+    lines: list[str] = []
+    for metric in sorted(registry.metrics(), key=lambda m: m.name):
+        name = _om_name(metric.name)
+        # HELP carries "<dotted original>: <help>" so parse can recover
+        # the registry name even after underscore folding.
+        help_text = _escape_help(
+            metric.name + (f": {metric.help}" if metric.help else "")
+        )
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"{name}_total {_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {name} summary")
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"{name}_count {_fmt(metric.count)}")
+            lines.append(f"{name}_sum {_fmt(metric.total)}")
+            if metric.count:
+                for bound, value in (("min", metric.min), ("max", metric.max)):
+                    sub = f"{name}_{bound}"
+                    lines.append(f"# TYPE {sub} gauge")
+                    lines.append(f"{sub} {_fmt(value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"{name} {_fmt(metric.value)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_value(raw: str) -> int | float:
+    try:
+        return int(raw)
+    except ValueError:
+        return float(raw)
+
+
+def parse_openmetrics(text: str) -> dict[str, dict[str, Any]]:
+    """Parse an exposition produced by :func:`render_openmetrics`.
+
+    Returns ``{registry_name: {"type": ..., "help": ..., "value"/"count"/
+    "sum"/"min"/"max": ...}}`` keyed by the original dotted registry
+    names (recovered from the HELP lines).  Raises ``ValueError`` on a
+    malformed document or a missing ``# EOF`` terminator.
+    """
+    metrics: dict[str, dict[str, Any]] = {}  # keyed by OM name
+    saw_eof = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if saw_eof:
+            raise ValueError(f"line {lineno}: content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, om_type = rest.partition(" ")
+            metrics.setdefault(name, {})["type"] = om_type.strip()
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            entry = metrics.setdefault(name, {})
+            dotted, _, help_part = _unescape_help(help_text).partition(": ")
+            entry["name"] = dotted
+            entry["help"] = help_part
+            continue
+        if line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        sample, value = parts[0], _parse_value(parts[1])
+        matched = False
+        for name, entry in metrics.items():
+            om_type = entry.get("type")
+            if om_type == "counter" and sample == f"{name}_total":
+                entry["value"] = value
+                matched = True
+            elif om_type == "gauge" and sample == name:
+                entry["value"] = value
+                matched = True
+            elif om_type == "summary" and sample in (
+                f"{name}_count",
+                f"{name}_sum",
+            ):
+                entry[sample[len(name) + 1 :]] = value
+                matched = True
+            if matched:
+                break
+        if not matched:
+            raise ValueError(f"line {lineno}: sample {sample!r} has no TYPE")
+    if not saw_eof:
+        raise ValueError("missing # EOF terminator")
+
+    # Fold the min/max helper gauges back into their summary, and re-key
+    # everything by the original dotted registry name.
+    out: dict[str, dict[str, Any]] = {}
+    helpers: list[tuple[str, dict[str, Any]]] = []
+    for name, entry in metrics.items():
+        if entry.get("type") == "gauge" and (
+            name.endswith("_min") or name.endswith("_max")
+        ):
+            base = name.rsplit("_", 1)[0]
+            if metrics.get(base, {}).get("type") == "summary":
+                helpers.append((name, entry))
+                continue
+        out[entry.get("name", name)] = entry
+    for name, entry in helpers:
+        base, bound = name.rsplit("_", 1)
+        base_entry = metrics[base]
+        out[base_entry.get("name", base)][bound] = entry.get("value")
+    return out

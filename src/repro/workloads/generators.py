@@ -7,7 +7,6 @@ comparisons across mechanisms see literally identical request sequences.
 
 from __future__ import annotations
 
-import math
 import random
 from typing import Any, Callable, Iterator
 

@@ -1,0 +1,116 @@
+"""CLI behavior of ``python -m repro.analysis`` / tools/alpslint.py."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.cli import main
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+BAD_SOURCE = """\
+from repro.core import AlpsObject, entry, manager_process
+
+
+class Starved(AlpsObject):
+    @entry
+    def a(self):
+        pass
+
+    @entry
+    def b(self):
+        pass
+
+    @manager_process(intercepts=["a", "b"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("a")
+            yield from self.execute(call)
+"""
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "starved.py"
+    path.write_text(BAD_SOURCE, encoding="utf-8")
+    return str(path)
+
+
+class TestMain:
+    def test_clean_path_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        assert main([str(tmp_path)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_findings_exit_one(self, bad_file, capsys):
+        assert main([bad_file]) == 1
+        out = capsys.readouterr().out
+        assert "ALP101" in out
+        assert "starved.py" in out
+        assert "1 error(s)" in out
+
+    def test_json_format(self, bad_file, capsys):
+        assert main(["--format", "json", bad_file]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["code"] == "ALP101"
+        assert payload[0]["obj"] == "Starved"
+        assert payload[0]["title"] == "intercepted-never-accepted"
+
+    def test_select_and_ignore(self, bad_file, capsys):
+        assert main(["--select", "ALP111", bad_file]) == 0
+        assert main(["--ignore", "ALP101", bad_file]) == 0
+        assert main(["--ignore", "ALP111", bad_file]) == 1
+        capsys.readouterr()
+
+    def test_unknown_code_rejected(self, bad_file):
+        with pytest.raises(SystemExit):
+            main(["--select", "ALP999", bad_file])
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "no paths" in capsys.readouterr().err
+
+    def test_missing_path_is_input_error(self, capsys):
+        assert main(["/nonexistent/definitely_not_here"]) == 2
+        capsys.readouterr()
+
+    def test_syntax_error_is_input_error(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def f(:\n", encoding="utf-8")
+        assert main([str(tmp_path)]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_list_checks(self, capsys):
+        assert main(["--list-checks"]) == 0
+        out = capsys.readouterr().out
+        assert "ALP101" in out and "ALP201" in out
+
+
+class TestLaunchers:
+    """The real entry points, run as subprocesses."""
+
+    def test_python_dash_m(self, bad_file):
+        env = dict(os.environ, PYTHONPATH=os.path.join(ROOT, "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", bad_file],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=ROOT,
+        )
+        assert proc.returncode == 1
+        assert "ALP101" in proc.stdout
+
+    def test_tools_wrapper_needs_no_pythonpath(self, bad_file):
+        env = {k: v for k, v in os.environ.items() if k != "PYTHONPATH"}
+        proc = subprocess.run(
+            [sys.executable, os.path.join(ROOT, "tools", "alpslint.py"), bad_file],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=ROOT,
+        )
+        assert proc.returncode == 1
+        assert "ALP101" in proc.stdout

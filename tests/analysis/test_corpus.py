@@ -1,0 +1,73 @@
+"""The bad/good fixture corpus keeps the linter honest both ways."""
+
+import os
+
+import pytest
+
+from repro.analysis import CATALOGUE, lint_file
+from repro.analysis.cli import check_corpus, expected_codes
+
+CORPUS = os.path.join(os.path.dirname(__file__), "..", "fixtures", "analysis")
+
+
+def corpus_files(prefix: str) -> list[str]:
+    return sorted(
+        name
+        for name in os.listdir(CORPUS)
+        if name.startswith(prefix) and name.endswith(".py")
+    )
+
+
+class TestCorpus:
+    def test_corpus_is_paired_per_check(self):
+        # Every static check (ALP1xx) has at least one positive and one
+        # negative fixture; an empty corpus would be a silent skip.
+        bad, good = corpus_files("bad_"), corpus_files("good_")
+        assert len(bad) >= 13 and len(good) >= 13
+        static_codes = {c for c in CATALOGUE if c.startswith("ALP1")}
+        covered = set()
+        for name in bad:
+            with open(os.path.join(CORPUS, name), encoding="utf-8") as fh:
+                covered |= expected_codes(fh.read())
+        assert covered == static_codes
+
+    @pytest.mark.parametrize("name", corpus_files("bad_"))
+    def test_bad_fixture_reports_expected_codes(self, name):
+        path = os.path.join(CORPUS, name)
+        with open(path, encoding="utf-8") as fh:
+            expected = expected_codes(fh.read())
+        assert expected, f"{name} lacks an '# expect:' header"
+        found = {f.code for f in lint_file(path)}
+        assert expected <= found
+
+    @pytest.mark.parametrize("name", corpus_files("good_"))
+    def test_good_fixture_is_clean(self, name):
+        findings = lint_file(os.path.join(CORPUS, name))
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_check_corpus_passes(self, capsys):
+        assert check_corpus(CORPUS, __import__("sys").stdout) == 0
+
+    def test_check_corpus_fails_on_empty_dir(self, tmp_path):
+        import io
+
+        stream = io.StringIO()
+        assert check_corpus(str(tmp_path), stream) == 1
+        assert "refusing to pass a vacuous check" in stream.getvalue()
+
+    def test_check_corpus_fails_on_missing_dir(self, tmp_path):
+        import io
+
+        stream = io.StringIO()
+        assert check_corpus(str(tmp_path / "nope"), stream) == 2
+
+    def test_check_corpus_fails_on_wrong_expectation(self, tmp_path):
+        import io
+
+        (tmp_path / "bad_fake.py").write_text(
+            "# expect: ALP113\nx = 1\n", encoding="utf-8"
+        )
+        (tmp_path / "good_fake.py").write_text("x = 1\n", encoding="utf-8")
+        stream = io.StringIO()
+        assert check_corpus(str(tmp_path), stream) == 1
+        assert "FAIL bad_fake.py" in stream.getvalue()

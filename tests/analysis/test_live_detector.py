@@ -1,0 +1,160 @@
+"""Live deadlock detection: cycles flagged before quiescence."""
+
+import pytest
+
+from repro.analysis import LiveDeadlockDetector
+from repro.core import AlpsObject, entry, manager_process
+from repro.errors import DeadlockError
+from repro.kernel import Delay, Kernel
+
+
+class Alpha(AlpsObject):
+    @entry(returns=1)
+    def ping(self):
+        return "ping"
+
+    @entry
+    def nudge(self):
+        pass
+
+    @manager_process(intercepts=["ping", "nudge"])
+    def mgr(self):
+        call = yield self.accept("ping")
+        yield self.peer.pong()
+        yield from self.execute(call)
+
+
+class Beta(AlpsObject):
+    @entry(returns=1)
+    def pong(self):
+        return "pong"
+
+    @manager_process(intercepts=["pong"])
+    def mgr(self):
+        call = yield self.accept("pong")
+        yield self.peer.nudge()
+        yield from self.execute(call)
+
+
+def _wire(kernel):
+    a = Alpha(kernel, name="A")
+    b = Beta(kernel, name="B")
+    a.peer, b.peer = b, a
+    kernel.spawn(lambda: (yield a.ping()), name="client")
+    return a, b
+
+
+class TestLiveDetection:
+    def test_cycle_flagged_before_quiescence(self, kernel):
+        # A long-running bystander keeps the event queue non-empty, so
+        # the quiescence check would not fire until t=10_000; the live
+        # detector must raise orders of magnitude earlier.
+        _wire(kernel)
+        kernel.spawn(lambda: (yield Delay(10_000)), name="bystander")
+        detector = LiveDeadlockDetector(kernel, interval=100)
+        with pytest.raises(DeadlockError) as excinfo:
+            kernel.run()
+        assert kernel.clock.now < 1_000  # long before the bystander ends
+        message = str(excinfo.value)
+        assert "live deadlock" in message
+        assert "A.manager" in message and "B.manager" in message
+        assert excinfo.value.wait_for is not None
+        assert detector.scans >= 1
+
+    def test_record_only_mode(self, kernel):
+        # raise_on_cycle=False records cycles and lets the run continue
+        # to the ordinary quiescence deadlock report.
+        _wire(kernel)
+        kernel.spawn(lambda: (yield Delay(500)), name="bystander")
+        detector = LiveDeadlockDetector(kernel, interval=100, raise_on_cycle=False)
+        with pytest.raises(DeadlockError) as excinfo:
+            kernel.run()
+        assert kernel.clock.now >= 500  # quiescence, not the detector
+        assert detector.cycles  # but the cycle was observed live
+        assert "wait-for cycle" in str(excinfo.value)
+
+    def test_timed_cycle_not_flagged(self, kernel):
+        # The same topology with a timeout on the cross call is not a
+        # definite cycle: the detector must stay silent and the timeout
+        # must dissolve the wait.
+        from repro.errors import RemoteCallError
+
+        class Shy(AlpsObject):
+            @entry(returns=1)
+            def op(self):
+                return 1
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                yield Delay(400)
+                call = yield self.accept("op")
+                yield from self.execute(call)
+
+        obj = Shy(kernel, name="S")
+
+        def client():
+            with pytest.raises(RemoteCallError):
+                yield obj.op(timeout=300)
+
+        kernel.spawn(client, name="client")
+        LiveDeadlockDetector(kernel, interval=50)
+        kernel.run()  # completes without DeadlockError
+
+    def test_no_false_positive_on_healthy_pipeline(self, kernel):
+        from repro.stdlib import BoundedBuffer
+
+        buffer = BoundedBuffer(kernel, name="buf", size=2)
+
+        def producer():
+            for i in range(20):
+                yield buffer.deposit(i)
+
+        def consumer():
+            for _ in range(20):
+                yield buffer.remove()
+
+        kernel.spawn(producer)
+        kernel.spawn(consumer)
+        LiveDeadlockDetector(kernel, interval=10)
+        kernel.run()
+
+    def test_stop(self, kernel):
+        _wire(kernel)
+        kernel.spawn(lambda: (yield Delay(1_000)), name="bystander")
+        detector = LiveDeadlockDetector(kernel, interval=100)
+        detector.stop()  # stopped before the first scan: never raises live
+        with pytest.raises(DeadlockError):
+            kernel.run()
+        assert kernel.clock.now >= 1_000
+        assert detector.scans == 0
+
+
+class TestPoolExhaustion:
+    def test_exhausted_hidden_array_reported(self, kernel):
+        # One slot, a slow body holding it, and a queued second caller:
+        # the detector surfaces the pressure without raising.
+        class OneSlot(AlpsObject):
+            @entry(array=1)
+            def op(self, d):
+                yield Delay(d)
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                from repro.core import Finish, Start
+
+                while True:
+                    call = yield self.accept("op")
+                    yield Start(call)
+                    done = yield self.await_("op", call=call)
+                    yield Finish(done)
+
+        obj = OneSlot(kernel, name="P")
+        kernel.spawn(lambda: (yield obj.op(300)), name="holder")
+        kernel.spawn(lambda: (yield obj.op(10)), name="queued")
+        detector = LiveDeadlockDetector(kernel, interval=50)
+        kernel.run()
+        report = detector.reports.get(("P", "op"))
+        assert report is not None
+        assert report.array_size == 1
+        assert report.waiting >= 1
+        assert report.holders

@@ -1,0 +1,135 @@
+"""Quantified-guard edge cases over hidden procedure arrays (§2.4).
+
+``(i:1..N) accept P[i]`` is modelled by ``slot=None`` (any element) or
+``slot=i`` (one element).  These tests pin the corner cases the
+wait-for-graph work leans on: matching over a *partially occupied*
+array, and a specific-slot guard naming a currently *free* element.
+"""
+
+from repro.core import (
+    AlpsObject,
+    AwaitGuard,
+    Finish,
+    Start,
+    entry,
+    manager_process,
+)
+from repro.kernel import Delay, Select
+
+
+class Triple(AlpsObject):
+    """Three-slot hidden array; manager behavior set per test."""
+
+    def setup(self, **config):
+        super().setup(**config)
+        self.accepted_slots = []
+        self.await_order = []
+
+    @entry(array=3)
+    def op(self, d):
+        if d:
+            yield Delay(d)
+
+    @manager_process(intercepts=["op"])
+    def mgr(self):
+        # Accept twice with slot=None while the 3-slot array is only
+        # partially occupied, start both, then drain with slot=None
+        # awaits: the quicker body must come back first.
+        first = yield self.accept("op")
+        self.accepted_slots.append(first.slot)
+        second = yield self.accept("op")
+        self.accepted_slots.append(second.slot)
+        yield Start(first)
+        yield Start(second)
+        for _ in range(2):
+            done = yield self.await_("op")
+            self.await_order.append((done.slot, done.args[0]))
+            yield Finish(done)
+
+
+class TestSlotNonePartialArray:
+    def test_accept_any_over_partially_occupied_array(self, kernel):
+        obj = Triple(kernel, name="T")
+        kernel.spawn(lambda: (yield obj.op(50)))
+        kernel.spawn(lambda: (yield obj.op(10)))
+        kernel.run()
+        # Two of the three slots were ever used, each exactly once.
+        assert sorted(obj.accepted_slots) == [0, 1]
+
+    def test_await_any_returns_first_completed_body(self, kernel):
+        obj = Triple(kernel, name="T")
+        kernel.spawn(lambda: (yield obj.op(50)))
+        kernel.spawn(lambda: (yield obj.op(10)))
+        kernel.run()
+        # slot=None await matches whichever started body finished first
+        # — the d=10 one — not the lowest occupied slot index.
+        assert [d for _, d in obj.await_order] == [10, 50]
+
+
+class TestSlotNamingFreeElement:
+    def test_accept_specific_free_slot_waits_for_it(self, kernel):
+        # The manager insists on slot 1 while only slot 0 is occupied;
+        # the guard must wait for a call to attach at slot 1 rather than
+        # match the (wrong) resident of slot 0.
+        class Picky(AlpsObject):
+            def setup(self, **config):
+                super().setup(**config)
+                self.order = []
+
+            @entry(array=2)
+            def op(self, tag):
+                if False:
+                    yield  # body is immediate
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                call = yield self.accept("op", slot=1)
+                self.order.append(call.args[0])
+                yield from self.execute(call)
+                call = yield self.accept("op", slot=0)
+                self.order.append(call.args[0])
+                yield from self.execute(call)
+
+        obj = Picky(kernel, name="P")
+
+        def early():
+            yield obj.op("early")  # t=0: attaches slot 0
+
+        def late():
+            yield Delay(25)
+            yield obj.op("late")  # t=25: attaches slot 1
+
+        kernel.spawn(early)
+        kernel.spawn(late)
+        kernel.run()
+        # The slot-1 guard waited 25 ticks for `late` instead of taking
+        # `early` from slot 0.
+        assert obj.order == ["late", "early"]
+
+    def test_await_specific_free_slot_never_spuriously_ready(self, kernel):
+        # An await guard naming an empty slot must not fire; a sibling
+        # guard on the occupied slot wins the select.
+        class Watcher(AlpsObject):
+            def setup(self, **config):
+                super().setup(**config)
+                self.fired_slot = None
+
+            @entry(array=3)
+            def op(self, d):
+                yield Delay(d)
+
+            @manager_process(intercepts=["op"])
+            def mgr(self):
+                call = yield self.accept("op")  # attaches slot 0
+                yield Start(call)
+                result = yield Select(
+                    AwaitGuard(self, "op", slot=2),  # free element
+                    AwaitGuard(self, "op", slot=0),
+                )
+                self.fired_slot = result.value.slot
+                yield Finish(result.value)
+
+        obj = Watcher(kernel, name="W")
+        kernel.spawn(lambda: (yield obj.op(10)))
+        kernel.run()
+        assert obj.fired_slot == 0

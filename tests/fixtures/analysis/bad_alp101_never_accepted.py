@@ -1,0 +1,20 @@
+# expect: ALP101
+# The manager intercepts `remove` but its body only ever accepts
+# `deposit`: every remove() call stalls forever (compile-time starvation).
+from repro.core import AlpsObject, entry, manager_process
+
+
+class LeakyBuffer(AlpsObject):
+    @entry
+    def deposit(self, item):
+        pass
+
+    @entry(returns=1)
+    def remove(self):
+        return None
+
+    @manager_process(intercepts=["deposit", "remove"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("deposit")
+            yield from self.execute(call)

@@ -1,0 +1,17 @@
+# expect: ALP102
+# The manager accepts and awaits `work` but never starts it, so the
+# await guard can never become ready.
+from repro.core import AlpsObject, Finish, entry, manager_process
+
+
+class Stuck(AlpsObject):
+    @entry
+    def work(self):
+        pass
+
+    @manager_process(intercepts=["work"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("work")
+            done = yield self.await_("work")
+            yield Finish(done)

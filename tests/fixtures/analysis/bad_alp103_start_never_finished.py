@@ -1,0 +1,16 @@
+# expect: ALP103
+# Started bodies run, but the manager never awaits or finishes them:
+# callers block forever waiting for results that are never delivered.
+from repro.core import AlpsObject, Start, entry, manager_process
+
+
+class FireAndForget(AlpsObject):
+    @entry
+    def work(self):
+        pass
+
+    @manager_process(intercepts=["work"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("work")
+            yield Start(call)

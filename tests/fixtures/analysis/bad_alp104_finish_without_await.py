@@ -1,0 +1,18 @@
+# expect: ALP104
+# The manager starts the body and then finishes the call without an
+# await in between; at runtime Finish requires AWAITED (or ACCEPTED for
+# combining) and raises ProtocolError [ALP104].
+from repro.core import AlpsObject, Finish, Start, entry, manager_process
+
+
+class Impatient(AlpsObject):
+    @entry
+    def work(self):
+        pass
+
+    @manager_process(intercepts=["work"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("work")
+            yield Start(call)
+            yield Finish(call)

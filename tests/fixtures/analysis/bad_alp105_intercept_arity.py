@@ -1,0 +1,21 @@
+# expect: ALP105
+# The intercepts clause claims 2 params and 2 results of `lookup`, but
+# the entry declares only one parameter and returns=1; and `helper`
+# declares hidden params without being intercepted at all.
+from repro.core import AlpsObject, entry, icpt, manager_process
+
+
+class Mismatched(AlpsObject):
+    @entry(returns=1)
+    def lookup(self, key):
+        return None
+
+    @entry(hidden_params=1)
+    def helper(self, device):
+        pass
+
+    @manager_process(intercepts={"lookup": icpt(params=2, results=2)})
+    def mgr(self):
+        while True:
+            call = yield self.accept("lookup")
+            yield from self.execute(call)

@@ -1,0 +1,19 @@
+# expect: ALP106
+# The accept guard intercepts 1 parameter but its when-condition takes
+# two; at runtime the guard would crash evaluating the condition.
+from repro.core import AlpsObject, entry, icpt, manager_process
+
+
+class WrongWhen(AlpsObject):
+    @entry
+    def acquire(self, amount):
+        pass
+
+    @manager_process(intercepts={"acquire": icpt(params=1)})
+    def mgr(self):
+        available = 10
+        while True:
+            call = yield self.accept(
+                "acquire", when=lambda amount, extra: amount <= available
+            )
+            yield from self.execute(call)

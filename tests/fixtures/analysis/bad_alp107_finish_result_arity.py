@@ -1,0 +1,16 @@
+# expect: ALP107
+# `grant` returns one value and the manager combines (finish without
+# start), so Finish must fabricate exactly 1 result — it supplies 3.
+from repro.core import AlpsObject, Finish, entry, icpt, manager_process
+
+
+class OverGenerous(AlpsObject):
+    @entry(returns=1)
+    def grant(self):
+        return None
+
+    @manager_process(intercepts={"grant": icpt()})
+    def mgr(self):
+        while True:
+            call = yield self.accept("grant")
+            yield Finish(call, 1, 2, 3)

@@ -1,0 +1,20 @@
+# expect: ALP108
+# `write` declares one hidden parameter (the device handle the manager
+# supplies at start), but Start passes two extras.
+from repro.core import AlpsObject, Finish, Start, entry, icpt, manager_process
+
+
+class DoubleDevice(AlpsObject):
+    @entry(hidden_params=1)
+    def write(self, block, device):
+        pass
+
+    @manager_process(intercepts={"write": icpt()})
+    def mgr(self):
+        device = object()
+        spare = object()
+        while True:
+            call = yield self.accept("write")
+            yield Start(call, device, spare)
+            done = yield self.await_("write", call=call)
+            yield Finish(done)

@@ -1,0 +1,23 @@
+# expect: ALP109
+# A guard whose when-condition is the literal False can never fire;
+# every `drain` call starves behind it.
+from repro.core import AcceptGuard, AlpsObject, Select, entry, manager_process
+
+
+class NeverDrains(AlpsObject):
+    @entry
+    def fill(self):
+        pass
+
+    @entry
+    def drain(self):
+        pass
+
+    @manager_process(intercepts=["fill", "drain"])
+    def mgr(self):
+        while True:
+            result = yield Select(
+                AcceptGuard(self, "fill"),
+                AcceptGuard(self, "drain", when=lambda: False),
+            )
+            yield from self.execute(result.value)

@@ -1,0 +1,16 @@
+# expect: ALP110
+# `read` is implemented as a hidden array of 2 procedures (slots 0 and
+# 1); the quantified guard names slot 5, which can never hold a call.
+from repro.core import AlpsObject, entry, manager_process
+
+
+class OffTheEnd(AlpsObject):
+    @entry(returns=1, array=2)
+    def read(self, key):
+        return None
+
+    @manager_process(intercepts=["read"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("read", slot=5)
+            yield from self.execute(call)

@@ -1,0 +1,24 @@
+# expect: ALP111
+# The manager invokes `audit` — an intercepted entry of its own object.
+# The call queues behind the manager's own accept loop while the manager
+# blocks waiting for it: self-deadlock.
+from repro.core import AlpsObject, entry, manager_process
+
+
+class Navel(AlpsObject):
+    @entry(returns=1)
+    def audit(self):
+        return 0
+
+    @entry
+    def work(self):
+        pass
+
+    @manager_process(intercepts=["audit", "work"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("work")
+            count = yield self.audit()
+            yield from self.execute(call)
+            call2 = yield self.accept("audit")
+            yield from self.execute(call2)

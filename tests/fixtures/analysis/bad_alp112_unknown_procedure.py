@@ -1,0 +1,25 @@
+# expect: ALP112
+# The accept names `withdraw`, but the object declares no such
+# procedure (typo for `remove`); #pending misspells it too.
+from repro.core import AlpsObject, entry, manager_process
+
+
+class Typo(AlpsObject):
+    @entry
+    def deposit(self, item):
+        pass
+
+    @entry(returns=1)
+    def remove(self):
+        return None
+
+    @manager_process(intercepts=["deposit", "remove"])
+    def mgr(self):
+        while True:
+            if self.pending("withdrawl") > 0:
+                call = yield self.accept("withdraw")
+            else:
+                call = yield self.accept("deposit")
+            yield from self.execute(call)
+            other = yield self.accept("remove")
+            yield from self.execute(other)

@@ -1,0 +1,22 @@
+# expect: ALP113
+# `peek` is a declared entry, but the manager does not intercept it —
+# an accept guard on it would be rejected by the runtime.
+from repro.core import AlpsObject, entry, manager_process
+
+
+class Overreach(AlpsObject):
+    @entry
+    def put(self, item):
+        pass
+
+    @entry(returns=1)
+    def peek(self):
+        return None
+
+    @manager_process(intercepts=["put"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("put")
+            yield from self.execute(call)
+            extra = yield self.accept("peek")
+            yield from self.execute(extra)

@@ -1,0 +1,21 @@
+# Both intercepted entries have accept sites (via a select); clean.
+from repro.core import AcceptGuard, AlpsObject, Select, entry, manager_process
+
+
+class TightBuffer(AlpsObject):
+    @entry
+    def deposit(self, item):
+        pass
+
+    @entry(returns=1)
+    def remove(self):
+        return None
+
+    @manager_process(intercepts=["deposit", "remove"])
+    def mgr(self):
+        while True:
+            result = yield Select(
+                AcceptGuard(self, "deposit"),
+                AcceptGuard(self, "remove"),
+            )
+            yield from self.execute(result.value)

@@ -1,0 +1,16 @@
+# Accept, start, await, finish: the full §2.3 protocol; clean.
+from repro.core import AlpsObject, Finish, Start, entry, manager_process
+
+
+class Flowing(AlpsObject):
+    @entry
+    def work(self):
+        pass
+
+    @manager_process(intercepts=["work"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("work")
+            yield Start(call)
+            done = yield self.await_("work")
+            yield Finish(done)

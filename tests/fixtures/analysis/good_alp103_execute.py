@@ -1,0 +1,14 @@
+# `execute` packages start+await+finish (§2.3); full coverage, clean.
+from repro.core import AlpsObject, entry, manager_process
+
+
+class Packaged(AlpsObject):
+    @entry
+    def work(self):
+        pass
+
+    @manager_process(intercepts=["work"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("work")
+            yield from self.execute(call)

@@ -1,0 +1,16 @@
+# Await sits between start and finish; protocol order respected, clean.
+from repro.core import AlpsObject, Finish, Start, entry, manager_process
+
+
+class Patient(AlpsObject):
+    @entry
+    def work(self):
+        pass
+
+    @manager_process(intercepts=["work"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("work")
+            yield Start(call)
+            done = yield self.await_("work", call=call)
+            yield Finish(done)

@@ -1,0 +1,14 @@
+# Intercept arities are within the entry's declaration; clean.
+from repro.core import AlpsObject, entry, icpt, manager_process
+
+
+class WellDeclared(AlpsObject):
+    @entry(returns=1)
+    def lookup(self, key):
+        return None
+
+    @manager_process(intercepts={"lookup": icpt(params=1, results=1)})
+    def mgr(self):
+        while True:
+            call = yield self.accept("lookup")
+            yield from self.execute(call)

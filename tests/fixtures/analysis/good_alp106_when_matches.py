@@ -1,0 +1,17 @@
+# The when-condition takes exactly the 1 intercepted parameter; clean.
+from repro.core import AlpsObject, entry, icpt, manager_process
+
+
+class RightWhen(AlpsObject):
+    @entry
+    def acquire(self, amount):
+        pass
+
+    @manager_process(intercepts={"acquire": icpt(params=1)})
+    def mgr(self):
+        available = 10
+        while True:
+            call = yield self.accept(
+                "acquire", when=lambda amount: amount <= available
+            )
+            yield from self.execute(call)

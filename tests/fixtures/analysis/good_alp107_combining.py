@@ -1,0 +1,17 @@
+# Combining (§2.7): finish-without-start fabricates the entry's single
+# declared result — exactly one value supplied; clean.
+from repro.core import AlpsObject, Finish, entry, icpt, manager_process
+
+
+class Combiner(AlpsObject):
+    @entry(returns=1)
+    def grant(self):
+        return None
+
+    @manager_process(intercepts={"grant": icpt()})
+    def mgr(self):
+        granted = 0
+        while True:
+            call = yield self.accept("grant")
+            granted += 1
+            yield Finish(call, granted)

@@ -1,0 +1,17 @@
+# Start supplies exactly the declared hidden parameter; clean.
+from repro.core import AlpsObject, Finish, Start, entry, icpt, manager_process
+
+
+class SingleDevice(AlpsObject):
+    @entry(hidden_params=1)
+    def write(self, block, device):
+        pass
+
+    @manager_process(intercepts={"write": icpt()})
+    def mgr(self):
+        device = object()
+        while True:
+            call = yield self.accept("write")
+            yield Start(call, device)
+            done = yield self.await_("write", call=call)
+            yield Finish(done)

@@ -1,0 +1,27 @@
+# The when-condition reads real manager state; it can become true, clean.
+from repro.core import AcceptGuard, AlpsObject, Select, entry, manager_process
+
+
+class Drains(AlpsObject):
+    @entry
+    def fill(self):
+        pass
+
+    @entry
+    def drain(self):
+        pass
+
+    @manager_process(intercepts=["fill", "drain"])
+    def mgr(self):
+        level = 0
+        while True:
+            result = yield Select(
+                AcceptGuard(self, "fill"),
+                AcceptGuard(self, "drain", when=lambda: level > 0),
+            )
+            call = result.value
+            if call.entry == "fill":
+                level += 1
+            else:
+                level -= 1
+            yield from self.execute(call)

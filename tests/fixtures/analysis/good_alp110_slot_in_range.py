@@ -1,0 +1,14 @@
+# Slot 1 is inside the 2-element hidden array (slots 0..1); clean.
+from repro.core import AlpsObject, entry, manager_process
+
+
+class OnTheArray(AlpsObject):
+    @entry(returns=1, array=2)
+    def read(self, key):
+        return None
+
+    @manager_process(intercepts=["read"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("read", slot=1)
+            yield from self.execute(call)

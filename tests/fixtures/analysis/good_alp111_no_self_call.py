@@ -1,0 +1,23 @@
+# The manager tracks its own count in shared data instead of calling
+# back into the object; clean.
+from repro.core import AlpsObject, entry, manager_process
+
+
+class Outward(AlpsObject):
+    @entry(returns=1)
+    def audit(self):
+        return 0
+
+    @entry
+    def work(self):
+        pass
+
+    @manager_process(intercepts=["audit", "work"])
+    def mgr(self):
+        served = 0
+        while True:
+            call = yield self.accept("work")
+            served += 1
+            yield from self.execute(call)
+            call2 = yield self.accept("audit")
+            yield from self.execute(call2)

@@ -1,0 +1,21 @@
+# Every guard and #pending expression names a declared procedure; clean.
+from repro.core import AlpsObject, entry, manager_process
+
+
+class WellSpelled(AlpsObject):
+    @entry
+    def deposit(self, item):
+        pass
+
+    @entry(returns=1)
+    def remove(self):
+        return None
+
+    @manager_process(intercepts=["deposit", "remove"])
+    def mgr(self):
+        while True:
+            if self.pending("remove") > 0:
+                call = yield self.accept("remove")
+            else:
+                call = yield self.accept("deposit")
+            yield from self.execute(call)

@@ -1,0 +1,19 @@
+# Guards only name intercepted entries; `peek` flows freely without
+# manager involvement; clean.
+from repro.core import AlpsObject, entry, manager_process
+
+
+class InBounds(AlpsObject):
+    @entry
+    def put(self, item):
+        pass
+
+    @entry(returns=1)
+    def peek(self):
+        return None
+
+    @manager_process(intercepts=["put"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("put")
+            yield from self.execute(call)

@@ -1,0 +1,102 @@
+"""OpenMetrics text exposition: render + round-trip parse."""
+
+import pytest
+
+from repro.obs import parse_openmetrics, render_openmetrics
+from repro.obs.metrics import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("faults.dropped_requests", "Requests dropped by faults").inc(7)
+    registry.counter("rpc.messages").inc(41)
+    gauge = registry.gauge("replication.primary_epoch", "Current primary epoch")
+    gauge.set(3)
+    registry.gauge("pool.live", fn=lambda: 12)
+    hist = registry.histogram("calls.response_time", "Call response times")
+    for value in (5, 30, 10):
+        hist.observe(value)
+    registry.histogram("calls.empty", "Never observed")
+    return registry
+
+
+class TestRender:
+    def test_counter_exposition(self):
+        text = render_openmetrics(populated_registry())
+        assert "# TYPE faults_dropped_requests counter" in text
+        assert "faults_dropped_requests_total 7" in text
+
+    def test_histogram_becomes_summary_with_min_max(self):
+        text = render_openmetrics(populated_registry())
+        assert "# TYPE calls_response_time summary" in text
+        assert "calls_response_time_count 3" in text
+        assert "calls_response_time_sum 45" in text
+        assert "calls_response_time_min 5" in text
+        assert "calls_response_time_max 30" in text
+
+    def test_callback_gauge_sampled_at_render_time(self):
+        text = render_openmetrics(populated_registry())
+        assert "pool_live 12" in text
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics(populated_registry()).endswith("# EOF\n")
+
+    def test_empty_histogram_has_no_min_max(self):
+        text = render_openmetrics(populated_registry())
+        assert "calls_empty_count 0" in text
+        assert "calls_empty_min" not in text
+
+
+class TestRoundTrip:
+    def test_every_metric_survives(self):
+        registry = populated_registry()
+        parsed = parse_openmetrics(render_openmetrics(registry))
+        assert parsed["faults.dropped_requests"]["type"] == "counter"
+        assert parsed["faults.dropped_requests"]["value"] == 7
+        assert (
+            parsed["faults.dropped_requests"]["help"]
+            == "Requests dropped by faults"
+        )
+        assert parsed["rpc.messages"]["value"] == 41
+        assert parsed["replication.primary_epoch"]["type"] == "gauge"
+        assert parsed["replication.primary_epoch"]["value"] == 3
+        assert parsed["pool.live"]["value"] == 12
+        summary = parsed["calls.response_time"]
+        assert summary["type"] == "summary"
+        assert summary["count"] == 3
+        assert summary["sum"] == 45
+        assert summary["min"] == 5
+        assert summary["max"] == 30
+
+    def test_round_trip_matches_snapshot_values(self):
+        # The parse of the render agrees with the registry's own
+        # snapshot for every counter and gauge.
+        registry = populated_registry()
+        parsed = parse_openmetrics(render_openmetrics(registry))
+        snapshot = registry.snapshot()
+        for name, value in snapshot.items():
+            if name in parsed:  # counters and gauges keep their name
+                assert parsed[name]["value"] == value
+
+    def test_float_values_survive(self):
+        registry = MetricsRegistry()
+        registry.gauge("load.average").set(0.75)
+        parsed = parse_openmetrics(render_openmetrics(registry))
+        assert parsed["load.average"]["value"] == pytest.approx(0.75)
+
+    def test_missing_eof_rejected(self):
+        registry = populated_registry()
+        text = render_openmetrics(registry).replace("# EOF\n", "")
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics(text)
+
+    def test_unknown_sample_rejected(self):
+        with pytest.raises(ValueError, match="no TYPE"):
+            parse_openmetrics("mystery_total 3\n# EOF\n")
+
+    def test_kernel_registry_renders(self, kernel):
+        # The per-kernel registry (with its pre-declared metrics) renders
+        # and parses without error even before any workload runs.
+        text = render_openmetrics(kernel.metrics)
+        parsed = parse_openmetrics(text)
+        assert isinstance(parsed, dict)

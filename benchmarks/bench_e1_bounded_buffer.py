@@ -15,14 +15,16 @@ from repro.baselines import MonitorBuffer, PathBuffer, SemaphoreBuffer
 from repro.kernel import Kernel
 from repro.stdlib import BoundedBuffer
 
-from harness import print_table, write_results
+from harness import attach_chrome_trace, print_table, write_results
 
 MESSAGES = 200
 SIZES = (1, 4, 16)
 
 
-def drive_manager(size: int) -> dict:
+def drive_manager(size: int, trace: bool = False) -> dict:
     kernel = Kernel()
+    if trace:
+        attach_chrome_trace(kernel, "e1")
     buf = BoundedBuffer(kernel, size=size)
 
     def producer():
@@ -36,6 +38,8 @@ def drive_manager(size: int) -> dict:
     kernel.spawn(producer)
     kernel.spawn(consumer)
     kernel.run()
+    if trace:
+        kernel.obs.close()
     return _row("manager", size, kernel)
 
 
@@ -91,6 +95,15 @@ def test_e1_table(benchmark, capsys):
         "e1", rows, seed=0,
         note=f"{MESSAGES} messages each way, sizes {SIZES}",
     )
+    # Trace artifact: re-run the size-4 manager cell with spans and the
+    # Chrome sink attached (TRACE_E1.json — input for
+    # `python -m repro.obs.analyze`).  The measured rows stay span-free,
+    # and the traced re-run must reproduce the untraced row exactly.
+    traced = drive_manager(4, trace=True)
+    untraced = next(
+        r for r in rows if r["mechanism"] == "manager" and r["size"] == 4
+    )
+    assert traced == untraced, "span recording changed the E1 manager cell"
     # The claim's shape: the manager costs a *constant* number of extra
     # rendezvous hops per operation — overhead per op does not grow with
     # buffer size, and stays within an order of magnitude of the leanest

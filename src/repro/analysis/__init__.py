@@ -23,6 +23,7 @@ from ..kernel.waitgraph import (
     WaitForSnapshot,
     build_wait_graph,
 )
+from .dot import to_dot
 from .findings import CATALOGUE, Check, Finding, Severity
 from .live import LiveDeadlockDetector
 from .static import (
@@ -48,4 +49,5 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "to_dot",
 ]

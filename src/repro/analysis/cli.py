@@ -7,9 +7,12 @@ Run as ``python -m repro.analysis`` (or via ``tools/alpslint.py``)::
     python -m repro.analysis --select ALP101,ALP111 ...  # only some checks
     python -m repro.analysis --list-checks               # show catalogue
     python -m repro.analysis --check-corpus tests/fixtures/analysis
+    python -m repro.analysis --dot snapshot.json -o wait_for.dot
 
 Exit codes: 0 clean, 1 findings reported (or corpus failures), 2 usage /
-input errors.  ``--check-corpus`` is the CI self-test: every
+input errors.  ``--dot`` renders a wait-for snapshot (the
+``WaitForSnapshot.to_json()`` dump carried by ``DeadlockError``) as
+Graphviz DOT instead of linting.  ``--check-corpus`` is the CI self-test: every
 ``bad_*.py`` fixture must produce exactly the codes named in its
 ``# expect: ALPxxx [ALPyyy ...]`` header and every ``good_*.py`` must
 lint clean — and an *empty* corpus is a failure, so a bad glob can
@@ -152,6 +155,32 @@ def check_corpus(directory: str, stream) -> int:
     return 1 if failures else 0
 
 
+def render_dot(snapshot_path: str, output: str | None, err) -> int:
+    """Load a wait-for snapshot JSON file and emit Graphviz DOT."""
+    from .dot import to_dot
+
+    try:
+        with open(snapshot_path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"alpslint: cannot read snapshot {snapshot_path}: {exc}", file=err)
+        return 2
+    if not isinstance(data, dict) or data.get("type") != "wait_for":
+        print(
+            f"alpslint: {snapshot_path} is not a wait-for snapshot "
+            f"(expected a WaitForSnapshot.to_json() dump)",
+            file=err,
+        )
+        return 2
+    text = to_dot(data) + "\n"
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="alpslint",
@@ -177,11 +206,24 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="self-test: verify the bad/good fixture corpus in DIR",
     )
+    parser.add_argument(
+        "--dot",
+        metavar="SNAPSHOT",
+        help="render a wait-for snapshot JSON file as Graphviz DOT",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="with --dot: write the DOT text here instead of stdout",
+    )
     args = parser.parse_args(argv)
 
     if args.list_checks:
         _list_checks(sys.stdout)
         return 0
+    if args.dot:
+        return render_dot(args.dot, args.output, sys.stderr)
     if args.check_corpus:
         return check_corpus(args.check_corpus, sys.stdout)
     if not args.paths:

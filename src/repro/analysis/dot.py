@@ -1,0 +1,99 @@
+"""Graphviz DOT export of the runtime wait-for graph.
+
+ROADMAP's analysis follow-on: the structured snapshot that
+``DeadlockError.wait_for`` (and the live detector) already carries,
+rendered for ``dot``/Graphviz so a blocked run can be *seen* — and laid
+side by side with the Chrome trace / critical-path report of the same
+run (``python -m repro.obs.analyze TRACE.json --waitgraph snap.json``).
+
+Rendering rules:
+
+* every blocked process is an ellipse node; members of a wait-for cycle
+  are filled red — the deadlock participants jump out;
+* edges carry the protocol label (``call kv.put[0] (awaiting accept)``);
+  edges a pending timer could dissolve (timed calls, selects holding a
+  feasible ``Timeout`` guard) are dashed, cycle edges are bold red;
+* exhausted hidden procedure arrays (§2.5 overflow with every slot
+  held) are grey boxes listing the holders, with edges from the queued
+  callers when known.
+
+Input is either a live :class:`~repro.kernel.waitgraph.WaitForSnapshot`
+or its ``to_json()`` dict (the CLI reads the latter from a file)::
+
+    python -m repro.analysis --dot snapshot.json > wait_for.dot
+    dot -Tsvg wait_for.dot -o wait_for.svg
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..kernel.waitgraph import WaitForSnapshot
+
+
+def _quote(text: Any) -> str:
+    return '"' + str(text).replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def _quote_multiline(parts: list[str]) -> str:
+    # DOT line breaks are a literal backslash-n inside the quoted label.
+    escaped = (str(p).replace("\\", "\\\\").replace('"', '\\"') for p in parts)
+    return '"' + "\\n".join(escaped) + '"'
+
+
+def to_dot(snapshot: "WaitForSnapshot | dict[str, Any]") -> str:
+    """Render a wait-for snapshot (live or ``to_json()`` form) as DOT."""
+    if isinstance(snapshot, WaitForSnapshot):
+        data = snapshot.to_json()
+    else:
+        data = snapshot
+    edges = data.get("edges", [])
+    pools = data.get("pools", [])
+    cycle_edges = {
+        (src, dst) for cycle in data.get("cycles", []) for src, dst in cycle
+    }
+    cycle_nodes = {name for pair in cycle_edges for name in pair}
+    nodes: list[str] = list(data.get("processes", []))
+    for edge in edges:
+        for name in (edge["src"], edge["dst"]):
+            if name not in nodes:
+                nodes.append(name)
+
+    lines = ["digraph wait_for {"]
+    lines.append("  rankdir=LR;")
+    lines.append(
+        f"  label={_quote('wait-for graph at t=' + str(data.get('time', '?')))};"
+    )
+    lines.append("  node [shape=ellipse, fontname=monospace];")
+    for name in nodes:
+        attrs = ""
+        if name in cycle_nodes:
+            attrs = ' [style=filled, fillcolor="#f4cccc", color=red]'
+        lines.append(f"  {_quote(name)}{attrs};")
+    for edge in edges:
+        styles = []
+        if (edge["src"], edge["dst"]) in cycle_edges:
+            styles.append("color=red")
+            styles.append("penwidth=2")
+        if not edge.get("definite", True):
+            styles.append("style=dashed")
+        attr = f", {', '.join(styles)}" if styles else ""
+        lines.append(
+            f"  {_quote(edge['src'])} -> {_quote(edge['dst'])} "
+            f"[label={_quote(edge.get('label', ''))}{attr}];"
+        )
+    for index, pool in enumerate(pools):
+        node = f"pool{index}"
+        label = _quote_multiline(
+            [
+                f"{pool['obj']}.{pool['entry']}[1..{pool['array_size']}] exhausted",
+                f"{pool['waiting']} caller(s) queued",
+                *pool.get("holders", []),
+            ]
+        )
+        lines.append(
+            f"  {node} [shape=box, style=filled, fillcolor=lightgrey, "
+            f"label={label}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -63,6 +63,7 @@ class Call:
         "attached_at",
         "accepted_at",
         "started_at",
+        "dispatched_at",
         "body_done_at",
         "finished_at",
         "response_delay",
@@ -102,6 +103,9 @@ class Call:
         self.attached_at: int | None = None
         self.accepted_at: int | None = None
         self.started_at: int | None = None
+        #: When the body actually landed on a server process — later than
+        #: ``started_at`` whenever the pool's backlog queued the start.
+        self.dispatched_at: int | None = None
         self.body_done_at: int | None = None
         self.finished_at: int | None = None
         #: Extra network delay to apply when resuming the caller (set by

@@ -120,6 +120,7 @@ class ServerPool:
         self._run(job, call)
 
     def _run(self, job: Callable[[], Any], call: "Call") -> None:
+        call.dispatched_at = self.kernel.clock.now
         self._busy += 1
         self.max_busy = max(self.max_busy, self._busy)
         self.dispatched += 1

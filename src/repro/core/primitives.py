@@ -126,9 +126,20 @@ class EntryCall(Syscall):
         if request_delay:
             if call.span is not None:
                 call.span.attrs["request_delay"] = request_delay
+                _tag_hop(call, proc)
             kernel.post(kernel.clock.now + request_delay, deliver)
         else:
             deliver()
+
+
+def _tag_hop(call: Call, proc: "Process") -> None:
+    """Label a remote call's root span with the RPC hop's endpoints."""
+    src = getattr(proc, "node", None)
+    dst = getattr(call.obj, "node", None)
+    if src is not None:
+        call.span.attrs["src_node"] = src.name
+    if dst is not None:
+        call.span.attrs["dst_node"] = dst.name
 
 
 def arm_call_timeout(kernel: "Kernel", call: Call) -> None:

@@ -65,6 +65,7 @@ class EntryRuntime:
         self.kernel.stats.calls_issued += 1
         if not self.try_attach(call):
             self.waiting.append(call)
+            self._queue_event("slot.queue.enter", call)
 
     def submit_unmanaged(self, call: Call) -> None:
         """Invocation of a non-intercepted entry (§2.3).
@@ -78,6 +79,7 @@ class EntryRuntime:
         self.kernel.stats.calls_issued += 1
         if self.spec.array is not None and not self.try_attach(call):
             self.waiting.append(call)
+            self._queue_event("slot.queue.enter", call)
             return
         self.start_body(call, managed=False)
 
@@ -102,6 +104,26 @@ class EntryRuntime:
         self.kernel.notify(self.arrival)
         return True
 
+    def _queue_event(self, kind: str, call: Call) -> None:
+        """Sink-only instant marking a slot-queue boundary (§2.5 overflow).
+
+        Pure observation: delivered straight to the attached sinks, never
+        the event queue, so the schedule is untouched (the neutrality
+        test in ``tests/obs/`` runs this path with sinks on and off).
+        """
+        obs = self.kernel.obs
+        if not obs.enabled:
+            return
+        obs.instant(
+            kind,
+            process=call.caller.name,
+            obj=self.obj.alps_name,
+            entry=self.spec.name,
+            call_id=call.call_id,
+            slot=call.slot,
+            waiting=len(self.waiting),
+        )
+
     def detach(self, call: Call) -> None:
         """Free the call's slot and attach the next waiting call."""
         assert call.slot is not None
@@ -114,6 +136,7 @@ class EntryRuntime:
         while self.waiting:
             nxt = self.waiting.popleft()
             if self.try_attach(nxt):
+                self._queue_event("slot.queue.leave", nxt)
                 break
             # No free slot after all (cannot happen: we just freed one).
             self.waiting.appendleft(nxt)

@@ -372,8 +372,11 @@ class FaultRuntime:
         call.response_delay = latency
         fire = self._guarded(call, deliver)
         when = now + latency + jitter()
-        if call.span is not None and when > now:
-            call.span.attrs["request_delay"] = when - now
+        if call.span is not None:
+            if when > now:
+                call.span.attrs["request_delay"] = when - now
+            call.span.attrs["src_node"] = src.name
+            call.span.attrs["dst_node"] = node.name
         if when > now:
             kernel.post(when, fire)
         else:

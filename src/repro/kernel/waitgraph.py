@@ -156,6 +156,47 @@ class WaitForSnapshot:
 
     # -- rendering ---------------------------------------------------------
 
+    def to_json(self) -> dict:
+        """JSON-safe form of the snapshot (names, not Process objects).
+
+        This is the interchange format of the DOT exporter: dump it next
+        to a failing run (``json.dump(err.wait_for.to_json(), fh)``) and
+        render it later with ``python -m repro.analysis --dot FILE`` or
+        alongside a critical-path report via ``repro.obs.analyze
+        --waitgraph``.
+        """
+        return {
+            "type": "wait_for",
+            "time": self.time,
+            "processes": [p.name for p in self.processes],
+            "edges": [
+                {
+                    "src": e.src.name,
+                    "dst": e.dst.name,
+                    "label": e.label,
+                    "definite": e.definite,
+                    "obj": e.obj,
+                    "entry": e.entry,
+                    "slot": e.slot,
+                }
+                for e in self.edges
+            ],
+            "pools": [
+                {
+                    "obj": p.obj,
+                    "entry": p.entry,
+                    "array_size": p.array_size,
+                    "waiting": p.waiting,
+                    "holders": list(p.holders),
+                }
+                for p in self.pools
+            ],
+            "cycles": [
+                [[e.src.name, e.dst.name] for e in cycle]
+                for cycle in self.cycles()
+            ],
+        }
+
     def describe_cycle(self, cycle: list[WaitEdge]) -> str:
         if not cycle:
             return ""

@@ -87,6 +87,10 @@ class Observability:
         #: tests assert this stays 0 on a disabled kernel.
         self.span_count = 0
         self._next_span_id = 1
+        #: Per-(process, call-name) issue counters; the ``seq`` attr they
+        #: produce makes root call spans alignable across two runs of the
+        #: same workload (see :mod:`repro.obs.diff`).
+        self._call_seq: dict[tuple[str, str], int] = {}
         self._trace_forwarded = False
         self._latency: Histogram | None = None
 
@@ -195,13 +199,23 @@ class Observability:
     # -- the entry-call hooks --------------------------------------------
 
     def call_issued(self, call: "Call", proc: "Process") -> None:
-        """Open the root span of an entry call (hot path; enabled only)."""
+        """Open the root span of an entry call (hot path; enabled only).
+
+        ``seq`` counts this caller's issues of this entry in program
+        order — a schedule-independent identity, so the differ can align
+        "writer's 3rd put" across runs whose interleavings diverge.
+        """
+        name = f"{call.obj.alps_name}.{call.entry}"
+        key = (proc.name, name)
+        seq = self._call_seq.get(key, 0)
+        self._call_seq[key] = seq + 1
         call.span = self.begin(
             "call",
-            f"{call.obj.alps_name}.{call.entry}",
+            name,
             process=proc.name,
             parent=proc.span,
             call_id=call.call_id,
+            seq=seq,
         )
 
     def complete_call(self, call: "Call", status: str = "ok") -> None:
@@ -249,8 +263,23 @@ class Observability:
             phase("manager", f"{entry}.start", call.accepted_at, call.started_at,
                   mname)
             body = call.body_process
-            phase("body", f"{entry}.body", call.started_at, call.body_done_at,
-                  body.name if body is not None else mname)
+            bname = body.name if body is not None else mname
+            dispatched = call.dispatched_at
+            if (
+                dispatched is not None
+                and call.started_at is not None
+                and dispatched > call.started_at
+            ):
+                # The pool's backlog held the started call before a worker
+                # freed up (§3 shared pools): split the wait out of the
+                # body so the profiler can attribute it.
+                phase("pool", f"{entry}.pool", call.started_at, dispatched,
+                      mname)
+                phase("body", f"{entry}.body", dispatched, call.body_done_at,
+                      bname)
+            else:
+                phase("body", f"{entry}.body", call.started_at,
+                      call.body_done_at, bname)
             phase("manager", f"{entry}.finish", call.body_done_at, reply_at, mname)
         if call.response_delay:
             phase("rpc", f"{entry}.response", reply_at, finish, root.process)

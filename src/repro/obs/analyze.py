@@ -1,0 +1,663 @@
+"""repro.obs.analyze — critical-path profiling over recorded span trees.
+
+PR 3 made the observability layer *record* one span tree per entry call;
+this module turns those recordings into answers.  Three questions, in
+the paper's terms:
+
+* **Where does an entry call's virtual time go?**  Each root ``call``
+  span is decomposed into the phases the manager protocol defines —
+  RPC request leg, slot-queue wait in the hidden procedure array
+  (§2.5), manager ``accept``/``start`` latency, pool-backlog wait (§3),
+  body execution, the ``await``/``finish`` handshake, RPC response leg.
+  The decomposition is *exact*: any ticks no derived phase covers land
+  in an explicit ``unattributed`` bucket, so per-call phase sums always
+  equal the end-to-end virtual latency.
+* **Which phase dominates?**  Aggregates per entry and over the whole
+  recording, with tick counts and shares.
+* **What is the longest blocking chain?**  Starting from the slowest
+  top-level span, repeatedly descend into the longest child — through a
+  replicated write's sequencer span, the primary's entry call, down to
+  the body — attributing to every link the ticks its children do not
+  explain.  Link self-times telescope back to the root's duration.
+
+Recordings load from any sink format: a Chrome ``trace_event`` file
+(``TRACE_E13.json``), a :class:`~repro.obs.sinks.JsonlSink` file, a
+:class:`~repro.obs.sinks.MemorySink` record list, or the live
+``kernel.obs.spans`` list.  CLI::
+
+    python -m repro.obs.analyze TRACE_E13.json
+    python -m repro.obs.analyze TRACE_E13.json --json
+    python -m repro.obs.analyze TRACE_E13.json --waitgraph snapshot.json
+
+``--waitgraph`` renders a wait-for-graph snapshot (the JSON written by
+``DeadlockError.wait_for.to_json()``) as Graphviz DOT next to the
+critical path, so the blocked-on structure and the latency structure of
+the same run can be read side by side (see DESIGN.md §9).
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import sys
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .spans import Span
+
+#: Canonical phase order of one managed entry call (plus the §2.7
+#: combining short-circuit and the exactness remainder).
+PHASES = (
+    "request",
+    "queue",
+    "accept",
+    "start",
+    "pool",
+    "body",
+    "finish",
+    "response",
+    "combined",
+    "unattributed",
+)
+
+#: (kind, name-suffix) → canonical phase key for derived phase spans.
+_PHASE_OF = {
+    ("rpc", "request"): "request",
+    ("rpc", "response"): "response",
+    ("queue", "queue"): "queue",
+    ("manager", "accept"): "accept",
+    ("manager", "start"): "start",
+    ("manager", "finish"): "finish",
+    ("manager", "combined"): "combined",
+    ("pool", "pool"): "pool",
+    ("body", "body"): "body",
+}
+
+
+class SpanRecord:
+    """One finished span, format-independent (loaders normalize to this)."""
+
+    __slots__ = ("id", "parent", "kind", "name", "process", "start", "end",
+                 "call_id", "attrs")
+
+    def __init__(
+        self,
+        id: int,
+        kind: str,
+        name: str,
+        process: str,
+        start: int,
+        end: int,
+        parent: int | None = None,
+        call_id: int | None = None,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        self.id = id
+        self.parent = parent
+        self.kind = kind
+        self.name = name
+        self.process = process
+        self.start = start
+        self.end = end
+        self.call_id = call_id
+        self.attrs = attrs or {}
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SpanRecord #{self.id} {self.kind}:{self.name} {self.start}..{self.end}>"
+
+
+class Recording:
+    """An indexed set of finished spans (plus instant events)."""
+
+    def __init__(
+        self,
+        spans: Iterable[SpanRecord],
+        instants: list[dict[str, Any]] | None = None,
+        source: str = "<memory>",
+    ) -> None:
+        self.spans = sorted(spans, key=lambda s: (s.start, s.id))
+        self.instants = instants or []
+        self.source = source
+        self.by_id = {s.id: s for s in self.spans}
+        self._children: dict[int, list[SpanRecord]] = {}
+        for span in self.spans:
+            if span.parent is not None:
+                self._children.setdefault(span.parent, []).append(span)
+
+    def children(self, span_id: int) -> list[SpanRecord]:
+        return self._children.get(span_id, [])
+
+    def top_level(self) -> list[SpanRecord]:
+        """Spans whose parent is absent from the recording."""
+        return [s for s in self.spans if s.parent not in self.by_id]
+
+    def call_roots(self) -> list[SpanRecord]:
+        """Every ``call`` span that is not nested inside another call."""
+        return [
+            s
+            for s in self.spans
+            if s.kind == "call"
+            and (s.parent not in self.by_id or self.by_id[s.parent].kind != "call")
+        ]
+
+    def align_key(self, span: SpanRecord) -> tuple[str, str, int]:
+        """Schedule-independent identity of a call root (see ``diff``)."""
+        seq = span.attrs.get("seq")
+        if seq is None:
+            seq = span.call_id if span.call_id is not None else span.id
+        return (span.process, span.name, int(seq))
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+
+_META_KEYS = ("span_id", "parent", "call_id")
+
+
+def from_spans(spans: Iterable[Any], source: str = "<memory>") -> Recording:
+    """Build a recording from live ``Span`` objects or sink record dicts."""
+    records: list[SpanRecord] = []
+    instants: list[dict[str, Any]] = []
+    for item in spans:
+        if isinstance(item, dict):
+            if item.get("type") == "event":
+                instants.append(item)
+                continue
+            if item.get("type") not in (None, "span"):
+                continue
+            if item.get("end") is None:
+                continue
+            records.append(
+                SpanRecord(
+                    id=item["id"],
+                    parent=item.get("parent"),
+                    kind=item["kind"],
+                    name=item["name"],
+                    process=item.get("process", ""),
+                    start=item["start"],
+                    end=item["end"],
+                    call_id=item.get("call_id"),
+                    attrs=dict(item.get("attrs") or {}),
+                )
+            )
+        else:  # a live Span
+            if item.end is None:
+                continue
+            records.append(
+                SpanRecord(
+                    id=item.span_id,
+                    parent=item.parent_id,
+                    kind=item.kind,
+                    name=item.name,
+                    process=item.process,
+                    start=item.start,
+                    end=item.end,
+                    call_id=item.call_id,
+                    attrs=dict(item.attrs),
+                )
+            )
+    return Recording(records, instants, source=source)
+
+
+def from_chrome(payload: dict[str, Any], source: str = "<chrome>") -> Recording:
+    """Load the Chrome ``trace_event`` format a ``ChromeTraceSink`` wrote."""
+    events = payload.get("traceEvents", [])
+    threads: dict[int, str] = {}
+    begins: dict[tuple, dict[str, Any]] = {}
+    records: list[SpanRecord] = []
+    instants: list[dict[str, Any]] = []
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") == "thread_name":
+                threads[event.get("tid")] = event.get("args", {}).get("name", "")
+            continue
+        if ph == "i":
+            instants.append(
+                {
+                    "type": "event",
+                    "time": event.get("ts"),
+                    "kind": event.get("name"),
+                    "tid": event.get("tid"),
+                    "detail": dict(event.get("args") or {}),
+                }
+            )
+            continue
+        if ph not in ("b", "e"):
+            continue
+        key = (event.get("cat"), event.get("id"))
+        if ph == "b":
+            begins[key] = event
+            continue
+        start = begins.pop(key, None)
+        if start is None:
+            continue  # unbalanced; the validator reports these
+        args = dict(start.get("args") or {})
+        attrs = {k: v for k, v in args.items() if k not in _META_KEYS}
+        records.append(
+            SpanRecord(
+                id=args.get("span_id", start.get("id")),
+                parent=args.get("parent"),
+                kind=start.get("cat", ""),
+                name=start.get("name", ""),
+                process=threads.get(start.get("tid"), ""),
+                start=start.get("ts", 0),
+                end=event.get("ts", 0),
+                call_id=args.get("call_id"),
+                attrs=attrs,
+            )
+        )
+    # Instant events resolve their process names only after all metadata
+    # has been seen (thread_name records may trail in hand-built files).
+    for instant in instants:
+        instant["process"] = threads.get(instant.pop("tid"), "")
+    return Recording(records, instants, source=source)
+
+
+def load(path: str) -> Recording:
+    """Load a recording from a Chrome-trace or JSONL file (sniffed)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        head = fh.read(1)
+        fh.seek(0)
+        if head == "{":
+            first_line = fh.readline()
+            try:
+                first = json.loads(first_line)
+            except json.JSONDecodeError:
+                first = None
+            if isinstance(first, dict) and first.get("type") in ("span", "event"):
+                # JSONL: one record per line.
+                fh.seek(0)
+                return _load_jsonl(fh, path)
+            fh.seek(0)
+            payload = json.load(fh)
+            if "traceEvents" in payload:
+                return from_chrome(payload, source=path)
+            raise ValueError(f"{path}: JSON object is not a Chrome trace")
+        return _load_jsonl(fh, path)
+
+
+def _load_jsonl(fh: io.TextIOBase, path: str) -> Recording:
+    items = []
+    for line in fh:
+        line = line.strip()
+        if line:
+            items.append(json.loads(line))
+    return from_spans(items, source=path)
+
+
+# ----------------------------------------------------------------------
+# Per-call phase attribution
+# ----------------------------------------------------------------------
+
+
+class CallProfile:
+    """One entry call's end-to-end latency, split into protocol phases."""
+
+    __slots__ = ("key", "call_id", "name", "process", "start", "end",
+                 "status", "phases")
+
+    def __init__(self, rec: Recording, root: SpanRecord) -> None:
+        self.key = rec.align_key(root)
+        self.call_id = root.call_id
+        self.name = root.name
+        self.process = root.process
+        self.start = root.start
+        self.end = root.end
+        self.status = root.attrs.get("status", "ok")
+        self.phases: dict[str, int] = {}
+        attributed = 0
+        for child in rec.children(root.id):
+            phase = _phase_key(child)
+            if phase is None:
+                continue  # nested calls are their own profiles
+            self.phases[phase] = self.phases.get(phase, 0) + child.duration
+            attributed += child.duration
+        rest = self.total - attributed
+        if rest:
+            self.phases["unattributed"] = rest
+
+    @property
+    def total(self) -> int:
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "process": self.process,
+            "name": self.name,
+            "seq": self.key[2],
+            "call_id": self.call_id,
+            "start": self.start,
+            "end": self.end,
+            "total": self.total,
+            "status": self.status,
+            "phases": {p: self.phases[p] for p in PHASES if p in self.phases},
+        }
+
+
+def _phase_key(span: SpanRecord) -> str | None:
+    suffix = span.name.rsplit(".", 1)[-1]
+    return _PHASE_OF.get((span.kind, suffix))
+
+
+def profile_calls(rec: Recording) -> list[CallProfile]:
+    """A profile for every non-nested finished call in the recording."""
+    return [CallProfile(rec, root) for root in rec.call_roots()]
+
+
+def aggregate(profiles: Iterable[CallProfile]) -> dict[str, dict[str, Any]]:
+    """Per-entry rollup: call count, latency stats, per-phase tick sums."""
+    out: dict[str, dict[str, Any]] = {}
+    for prof in profiles:
+        row = out.setdefault(
+            prof.name,
+            {"calls": 0, "total": 0, "max": 0,
+             "phases": {}, "errors": 0},
+        )
+        row["calls"] += 1
+        row["total"] += prof.total
+        row["max"] = max(row["max"], prof.total)
+        if prof.status != "ok":
+            row["errors"] += 1
+        for phase, ticks in prof.phases.items():
+            row["phases"][phase] = row["phases"].get(phase, 0) + ticks
+    for row in out.values():
+        row["mean"] = row["total"] / row["calls"] if row["calls"] else 0.0
+    return out
+
+
+def phase_totals(profiles: Iterable[CallProfile]) -> dict[str, int]:
+    totals: dict[str, int] = {}
+    for prof in profiles:
+        for phase, ticks in prof.phases.items():
+            totals[phase] = totals.get(phase, 0) + ticks
+    return totals
+
+
+# ----------------------------------------------------------------------
+# The longest blocking chain
+# ----------------------------------------------------------------------
+
+
+class ChainLink:
+    """One span on the critical path and the ticks only it explains."""
+
+    __slots__ = ("span", "self_ticks")
+
+    def __init__(self, span: SpanRecord, self_ticks: int) -> None:
+        self.span = span
+        self.self_ticks = self_ticks
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.span.kind,
+            "name": self.span.name,
+            "process": self.span.process,
+            "start": self.span.start,
+            "end": self.span.end,
+            "duration": self.span.duration,
+            "self": self.self_ticks,
+        }
+
+
+def critical_path(rec: Recording, root: SpanRecord | None = None) -> list[ChainLink]:
+    """The longest blocking chain from ``root`` (default: slowest span).
+
+    Descends from the root into the child with the greatest duration at
+    every level; each link is charged the ticks its chosen child does
+    not cover, so the self-times along the chain sum exactly to the
+    root's duration.
+    """
+    if root is None:
+        tops = rec.top_level()
+        if not tops:
+            return []
+        root = max(tops, key=lambda s: (s.duration, -s.start))
+    chain: list[ChainLink] = []
+    node = root
+    while True:
+        kids = rec.children(node.id)
+        if not kids:
+            chain.append(ChainLink(node, node.duration))
+            return chain
+        pick = max(kids, key=lambda s: (s.duration, -s.start, -s.id))
+        chain.append(ChainLink(node, node.duration - pick.duration))
+        node = pick
+
+
+# ----------------------------------------------------------------------
+# Replication classification (sequencer apply vs forward)
+# ----------------------------------------------------------------------
+
+
+def sequencer_breakdown(rec: Recording) -> dict[str, Any] | None:
+    """Apply-vs-forward attribution under replication sequencer spans.
+
+    Uses the ``primary`` tag the sequencer records on its span: the
+    child call whose target matches is the sequenced apply; every other
+    child call is a forward to a backup.
+    """
+    seq_spans = [s for s in rec.spans if s.kind == "replication"]
+    if not seq_spans:
+        return None
+    apply_ticks = forward_ticks = 0
+    applies = forwards = 0
+    for seq in seq_spans:
+        primary = seq.attrs.get("primary")
+        for child in rec.children(seq.id):
+            if child.kind != "call":
+                continue
+            target = child.name.rsplit(".", 1)[0]
+            if primary is not None and target == primary:
+                applies += 1
+                apply_ticks += child.duration
+            else:
+                forwards += 1
+                forward_ticks += child.duration
+    return {
+        "writes": len(seq_spans),
+        "sequencer_ticks": sum(s.duration for s in seq_spans),
+        "applies": applies,
+        "apply_ticks": apply_ticks,
+        "forwards": forwards,
+        "forward_ticks": forward_ticks,
+    }
+
+
+# ----------------------------------------------------------------------
+# Report rendering
+# ----------------------------------------------------------------------
+
+
+def _table(rows: list[list[str]], header: list[str]) -> str:
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows
+        else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(str(h).rjust(w) for h, w in zip(header, widths))]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_report(rec: Recording, top: int = 5) -> str:
+    """The human-readable critical-path report for one recording."""
+    profiles = profile_calls(rec)
+    out: list[str] = []
+    out.append(f"# Critical-path profile: {rec.source}")
+    processes = {s.process for s in rec.spans if s.process}
+    out.append(
+        f"{len(rec.spans)} spans over {len(processes)} processes; "
+        f"{len(profiles)} entry calls profiled."
+    )
+    if not profiles:
+        out.append("(no finished entry calls in this recording)")
+        return "\n".join(out)
+
+    total = sum(p.total for p in profiles)
+    totals = phase_totals(profiles)
+    out.append("")
+    out.append("## Phase attribution (all calls)")
+    rows = [
+        [phase, totals[phase], f"{100.0 * totals[phase] / total:.1f}%"]
+        for phase in PHASES
+        if totals.get(phase)
+    ]
+    out.append(_table(rows, ["phase", "ticks", "share"]))
+    out.append(
+        f"exact attribution: phase sums equal end-to-end latency for "
+        f"{len(profiles)}/{len(profiles)} calls "
+        f"(unattributed {totals.get('unattributed', 0)} ticks)."
+    )
+
+    out.append("")
+    out.append("## Per-entry breakdown")
+    agg = aggregate(profiles)
+    rows = []
+    for name in sorted(agg, key=lambda n: -agg[n]["total"]):
+        row = agg[name]
+        dominant = max(row["phases"], key=row["phases"].get) if row["phases"] else "-"
+        rows.append(
+            [name, row["calls"], row["errors"], f"{row['mean']:.1f}",
+             row["max"], dominant]
+        )
+    out.append(_table(rows, ["entry", "calls", "errors", "mean", "max",
+                             "dominant"]))
+
+    seq = sequencer_breakdown(rec)
+    if seq is not None:
+        out.append("")
+        out.append("## Replication sequencer")
+        out.append(
+            f"{seq['writes']} sequenced writes, {seq['sequencer_ticks']} "
+            f"ticks in the sequencer: {seq['applies']} primary applies "
+            f"({seq['apply_ticks']} ticks), {seq['forwards']} backup "
+            f"forwards ({seq['forward_ticks']} ticks)."
+        )
+
+    out.append("")
+    out.append(f"## Slowest calls (top {top})")
+    slow = sorted(profiles, key=lambda p: -p.total)[:top]
+    rows = []
+    for prof in slow:
+        breakdown = " ".join(
+            f"{phase}={prof.phases[phase]}"
+            for phase in PHASES
+            if prof.phases.get(phase)
+        )
+        rows.append(
+            [prof.process, prof.name, prof.key[2], prof.total, prof.status,
+             breakdown]
+        )
+    out.append(_table(rows, ["process", "entry", "seq", "total", "status",
+                             "phases"]))
+
+    chain = critical_path(rec)
+    out.append("")
+    out.append("## Longest blocking chain")
+    for depth, link in enumerate(chain):
+        span = link.span
+        out.append(
+            f"{'  ' * depth}{span.kind}:{span.name} [{span.process}] "
+            f"{span.start}..{span.end} ({span.duration} ticks, "
+            f"{link.self_ticks} self)"
+        )
+    if chain:
+        out.append(
+            f"chain self-times sum to {sum(l.self_ticks for l in chain)} "
+            f"ticks = the root span's duration."
+        )
+    out.append("")
+    out.append(
+        "Hint: render the wait-for graph of a blocked run next to this "
+        "report with `python -m repro.analysis --dot snapshot.json` "
+        "(snapshot via DeadlockError.wait_for.to_json())."
+    )
+    return "\n".join(out)
+
+
+def report_json(rec: Recording, top: int = 5) -> dict[str, Any]:
+    """Machine-readable form of :func:`render_report`."""
+    profiles = profile_calls(rec)
+    return {
+        "source": rec.source,
+        "spans": len(rec.spans),
+        "calls": len(profiles),
+        "phase_totals": phase_totals(profiles),
+        "entries": aggregate(profiles),
+        "sequencer": sequencer_breakdown(rec),
+        "profiles": [p.to_dict() for p in profiles],
+        "critical_path": [l.to_dict() for l in critical_path(rec)],
+    }
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.analyze",
+        description="Critical-path profile of a recorded span trace.",
+    )
+    parser.add_argument("trace", help="Chrome-trace or JSONL span recording")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the report as JSON")
+    parser.add_argument("--top", type=int, default=5,
+                        help="slowest calls to list (default 5)")
+    parser.add_argument("--out", metavar="FILE",
+                        help="write the report here instead of stdout")
+    parser.add_argument(
+        "--waitgraph", metavar="SNAPSHOT",
+        help="wait-for snapshot JSON to render as DOT after the report",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        rec = load(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError, KeyError) as exc:
+        print(f"analyze: cannot load {args.trace}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.as_json:
+        text = json.dumps(report_json(rec, top=args.top), indent=2,
+                          sort_keys=True, default=str)
+    else:
+        text = render_report(rec, top=args.top)
+
+    if args.waitgraph:
+        from ..analysis import to_dot
+
+        try:
+            with open(args.waitgraph, "r", encoding="utf-8") as fh:
+                snapshot = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"analyze: cannot load {args.waitgraph}: {exc}",
+                  file=sys.stderr)
+            return 2
+        text += "\n\n## Wait-for graph (DOT)\n" + to_dot(snapshot)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

@@ -489,6 +489,11 @@ class Replicated:
                 promoted = yield from self._elect(span)
                 if promoted is None:
                     raise
+        if span is not None:
+            # Phase tags for the trace analyzer: the child call span named
+            # after the primary is the sequenced apply, every other child
+            # is a forward (repro.obs.analyze classifies on these).
+            span.attrs["primary"] = obj.alps_name
         self.view.mark_applied(primary, version)
         self.log.append(version, entry, args)
         self.view.commit(version)
@@ -499,8 +504,10 @@ class Replicated:
         )
         # Forward to every live backup *before* acknowledging: an acked
         # write then survives the loss of any one replica.
+        forwards: list[str] = []
         for rname in self.view.live_backups():
             backup = self._objects[rname]
+            forwards.append(backup.alps_name)
             try:
                 yield from retry(
                     lambda b=backup: getattr(b, entry)(*args, timeout=timeout),
@@ -512,6 +519,8 @@ class Replicated:
                 self.view.mark_down(rname, span=span)
             else:
                 self.view.mark_applied(rname, version)
+        if span is not None and forwards:
+            span.attrs["forwards"] = forwards
         return result
 
     def _elect(self, span=None):

@@ -1,0 +1,139 @@
+"""Wait-for graph DOT export: live snapshots, JSON round-trip, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import to_dot
+from repro.analysis.cli import main
+from repro.core import AlpsObject, entry, manager_process
+from repro.errors import DeadlockError
+from repro.kernel import Kernel
+
+
+class Alpha(AlpsObject):
+    @entry(returns=1)
+    def ping(self):
+        return "ping"
+
+    @entry
+    def nudge(self):
+        pass
+
+    @manager_process(intercepts=["ping", "nudge"])
+    def mgr(self):
+        call = yield self.accept("ping")
+        yield self.peer.pong()
+        yield from self.execute(call)
+
+
+class Beta(AlpsObject):
+    @entry(returns=1)
+    def pong(self):
+        return "pong"
+
+    @manager_process(intercepts=["pong"])
+    def mgr(self):
+        call = yield self.accept("pong")
+        yield self.peer.nudge()
+        yield from self.execute(call)
+
+
+@pytest.fixture
+def snapshot(kernel):
+    a = Alpha(kernel, name="A")
+    b = Beta(kernel, name="B")
+    a.peer = b
+    b.peer = a
+    kernel.spawn(lambda: (yield a.ping()), name="client")
+    with pytest.raises(DeadlockError) as excinfo:
+        kernel.run()
+    return excinfo.value.wait_for
+
+
+class TestToJson:
+    def test_snapshot_serializes_completely(self, snapshot):
+        data = json.loads(json.dumps(snapshot.to_json()))
+        assert data["type"] == "wait_for"
+        assert set(data["processes"]) == {"A.manager", "B.manager", "client"}
+        assert len(data["edges"]) == 3
+        for edge in data["edges"]:
+            assert {"src", "dst", "label", "definite"} <= set(edge)
+        # The cycle names both managers, as [src, dst] pairs.
+        (cycle,) = data["cycles"]
+        assert sorted(pair[0] for pair in cycle) == ["A.manager", "B.manager"]
+
+
+class TestToDot:
+    def test_live_snapshot_and_json_render_identically(self, snapshot):
+        assert to_dot(snapshot) == to_dot(snapshot.to_json())
+
+    def test_cycle_members_and_edges_are_highlighted(self, snapshot):
+        dot = to_dot(snapshot)
+        assert dot.startswith("digraph wait_for {")
+        assert dot.rstrip().endswith("}")
+        # Deadlocked managers are filled; the bystander client is not.
+        assert '"A.manager" [style=filled' in dot
+        assert '"B.manager" [style=filled' in dot
+        assert '"client";' in dot
+        # Cycle edges are red and bold; the client's edge is plain.
+        assert dot.count("color=red, penwidth=2") == 2
+        client_line = next(l for l in dot.splitlines() if l.startswith('  "client" ->'))
+        assert "color=red" not in client_line
+        # Labels carry the protocol description.
+        assert "awaiting accept" in dot
+
+    def test_indefinite_edges_are_dashed_and_labels_escaped(self):
+        dot = to_dot({
+            "type": "wait_for",
+            "time": 9,
+            "processes": ["p", "q"],
+            "edges": [
+                {"src": "p", "dst": "q", "label": 'say "hi"',
+                 "definite": False},
+            ],
+            "pools": [],
+            "cycles": [],
+        })
+        assert "style=dashed" in dot
+        assert 'say \\"hi\\"' in dot
+        assert 'label="wait-for graph at t=9"' in dot
+
+    def test_exhausted_pools_render_as_boxes(self):
+        dot = to_dot({
+            "type": "wait_for",
+            "time": 3,
+            "processes": [],
+            "edges": [],
+            "pools": [
+                {"obj": "spool", "entry": "print", "array_size": 2,
+                 "waiting": 4, "holders": ["w1", "w2"]},
+            ],
+            "cycles": [],
+        })
+        assert "shape=box" in dot
+        assert "spool.print[1..2] exhausted" in dot
+        assert "4 caller(s) queued" in dot
+        assert "w1\\nw2" in dot
+
+
+class TestCli:
+    def test_dot_flag_renders_a_snapshot_file(self, tmp_path, snapshot, capsys):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(snapshot.to_json()))
+        assert main(["--dot", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph wait_for {")
+
+    def test_dot_output_file(self, tmp_path, snapshot):
+        snap = tmp_path / "snap.json"
+        snap.write_text(json.dumps(snapshot.to_json()))
+        out = tmp_path / "graph.dot"
+        assert main(["--dot", str(snap), "-o", str(out)]) == 0
+        assert out.read_text().startswith("digraph wait_for {")
+
+    def test_dot_rejects_missing_and_non_snapshot_input(self, tmp_path):
+        assert main(["--dot", str(tmp_path / "missing.json")]) == 2
+        other = tmp_path / "other.json"
+        other.write_text('{"rows": []}')
+        assert main(["--dot", str(other)]) == 2

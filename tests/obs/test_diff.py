@@ -1,0 +1,190 @@
+"""Span-tree diffing on adversarial run pairs.
+
+Three pairs, per the differ's contract:
+
+* the same run twice — the diff is empty and the CLI exits 0;
+* a priority/accept-order change — same calls, same outcomes, but the
+  manager accepted them in a different order: flagged as reordered;
+* a replicated workload, calm vs primary-crash — the failover shows up
+  as replicated-write subtree divergence (changed primary/forwards),
+  status changes, and instant-event divergence.
+"""
+
+import json
+
+from repro.core import AlpsObject, entry, manager_process
+from repro.errors import RemoteCallError
+from repro.faults import FaultPlan, install
+from repro.kernel import Delay, Kernel
+from repro.kernel.costs import FREE
+from repro.net import ring
+from repro.obs import JsonlSink, MemorySink
+from repro.obs.analyze import from_spans
+from repro.obs.diff import TraceDiff, main, render_diff
+from repro.replication import Replicated
+from repro.stdlib import KVStore, Supervisor
+
+
+class Pair(AlpsObject):
+    """Manager that accepts its two entries in a fixed, parameterized order."""
+
+    def __init__(self, kernel, order, **kwargs):
+        self.order = order
+        super().__init__(kernel, **kwargs)
+
+    @entry(returns=1)
+    def alpha(self):
+        return "alpha"
+
+    @entry(returns=1)
+    def beta(self):
+        return "beta"
+
+    @manager_process(intercepts=["alpha", "beta"])
+    def mgr(self):
+        for name in self.order:
+            call = yield self.accept(name)
+            yield from self.execute(call)
+
+
+def _pair_recording(order):
+    kernel = Kernel(spans=True)
+    obj = Pair(kernel, order, name="pair")
+    kernel.spawn(lambda: (yield obj.alpha()), name="caller_a")
+    kernel.spawn(lambda: (yield obj.beta()), name="caller_b")
+    kernel.run()
+    return from_spans(kernel.obs.spans)
+
+
+class TestIdenticalRuns:
+    def test_same_run_twice_diffs_empty(self):
+        a = _pair_recording(("alpha", "beta"))
+        b = _pair_recording(("alpha", "beta"))
+        diff = TraceDiff(a, b)
+        assert diff.identical()
+        assert diff.structural_differences == 0
+        assert diff.latency_differences == 0
+        assert "equivalent" in render_diff(diff)
+
+    def test_cli_exit_zero_on_identical_files(self, tmp_path, capsys):
+        paths = []
+        for run in ("a", "b"):
+            kernel = Kernel(spans=True)
+            path = tmp_path / f"{run}.jsonl"
+            kernel.obs.add_sink(JsonlSink(str(path)))
+            obj = Pair(kernel, ("alpha", "beta"), name="pair")
+            kernel.spawn(lambda: (yield obj.alpha()), name="caller_a")
+            kernel.spawn(lambda: (yield obj.beta()), name="caller_b")
+            kernel.run()
+            kernel.obs.close()
+            paths.append(str(path))
+        assert main(paths) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_cli_missing_file_exits_2(self, tmp_path):
+        assert main([str(tmp_path / "nope.json"),
+                     str(tmp_path / "nope2.json")]) == 2
+
+
+class TestReorderedAccepts:
+    def test_accept_order_change_is_flagged(self):
+        a = _pair_recording(("alpha", "beta"))
+        b = _pair_recording(("beta", "alpha"))
+        diff = TraceDiff(a, b)
+        assert not diff.identical()
+        # Same call population either way — the divergence is pure order.
+        assert diff.only_a == [] and diff.only_b == []
+        assert diff.status_changes == []
+        (entry,) = diff.reordered_accepts
+        assert entry["object"] == "pair"
+        assert entry["first_divergence"] == 0
+        assert entry["a"] != entry["b"]
+        assert "Reordered accepts" in render_diff(diff)
+
+    def test_cli_exit_one_on_differences(self, tmp_path, capsys):
+        for run, order in (("a", ("alpha", "beta")), ("b", ("beta", "alpha"))):
+            kernel = Kernel(spans=True)
+            kernel.obs.add_sink(JsonlSink(str(tmp_path / f"{run}.jsonl")))
+            obj = Pair(kernel, order, name="pair")
+            kernel.spawn(lambda: (yield obj.alpha()), name="caller_a")
+            kernel.spawn(lambda: (yield obj.beta()), name="caller_b")
+            kernel.run()
+            kernel.obs.close()
+        assert main([str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")]) == 1
+        out = capsys.readouterr().out
+        assert "Reordered accepts" in out
+        assert main([str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl"),
+                     "--json"]) == 1
+        assert json.loads(capsys.readouterr().out)["reordered_accepts"]
+
+
+def _replicated_run(crash: bool):
+    kernel = Kernel(costs=FREE, seed=3, trace=True, spans=True)
+    sink = kernel.obs.add_sink(MemorySink())
+    net = ring(kernel, 6)
+    plan = FaultPlan(seed=3, detection_delay=20)
+    if crash:
+        plan.crash_node("n0", at=250, restart_at=1500)
+    runtime = install(kernel, net, plan)
+    sup = net.node("n5").place(Supervisor(kernel, name="sup", faults=runtime))
+    rep = Replicated(
+        lambda name: KVStore(kernel, name=name),
+        net,
+        3,
+        writes=("put", "delete"),
+        nodes=["n0", "n2", "n4"],
+        supervisor=sup,
+        call_timeout=60,
+        heartbeat_interval=40,
+        seed=3,
+    )
+
+    def writer():
+        for i in range(10):
+            try:
+                yield from rep.put(f"k{i % 3}", i)
+            except RemoteCallError:
+                pass
+            yield Delay(80)
+
+    kernel.spawn(writer, name="writer")
+    kernel.run(until=1400)
+    return rep, from_spans(sink.records)
+
+
+class TestFailoverDivergence:
+    def test_crash_vs_calm_flags_the_failover_subtrees(self):
+        rep_calm, calm = _replicated_run(crash=False)
+        rep_crash, crashed = _replicated_run(crash=True)
+
+        # The scenario is not vacuous: the crash run really failed over.
+        events = {e for _, e, _, _ in rep_crash.view.transitions}
+        assert "down" in events and "promote" in events
+        assert "promote" not in {e for _, e, _, _ in rep_calm.view.transitions}
+
+        diff = TraceDiff(calm, crashed)
+        assert not diff.identical()
+        # Failover signature: some aligned writes changed their subtree —
+        # a different primary applied them and/or the forward set shrank.
+        divergent = [d for d in diff.replication
+                     if d["change"] == "subtree divergence"]
+        assert divergent
+        assert any("primary" in d["fields"] or "forwards" in d["fields"]
+                   for d in divergent)
+        # The crash run's kernel trace carries fault instants absent from
+        # the calm run.
+        assert diff.instant_divergence
+        text = render_diff(diff)
+        assert "Replicated writes" in text
+        assert "Instant events" in text
+
+    def test_latency_deltas_are_per_phase(self):
+        _, calm = _replicated_run(crash=False)
+        _, crashed = _replicated_run(crash=True)
+        diff = TraceDiff(calm, crashed)
+        # Aligned calls that moved must explain the movement by phase:
+        # the per-call delta equals the sum of its phase deltas.
+        movers = diff.top_movers(10)
+        assert movers
+        for delta in movers:
+            assert sum(delta.phase_deltas().values()) == delta.total_delta

@@ -9,11 +9,13 @@ Two halves:
   the call path records anyway; no extra syscalls are spent).
 """
 
+from repro.core import AlpsObject, entry, manager_process
 from repro.errors import RemoteCallError
 from repro.faults import FaultPlan, install
 from repro.kernel import Delay, Kernel
 from repro.kernel.costs import FREE
 from repro.net import ring
+from repro.obs import MemorySink
 from repro.replication import Replicated
 from repro.stdlib import KVStore, Supervisor
 
@@ -179,3 +181,82 @@ class TestEnabledIsScheduleNeutral:
         # transition links back to a recorded span.
         promotes = [t for t in rep.view.transitions if t[1] == "promote"]
         assert promotes and all(t.span_id is not None for t in promotes)
+
+
+class Slow(AlpsObject):
+    """One slot (returns=1): concurrent callers overflow into the
+    slot queue of the hidden procedure array (§2.5)."""
+
+    @entry(returns=1)
+    def work(self, x):
+        return x
+
+    @manager_process(intercepts=["work"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("work")
+            yield Delay(5)  # hold the slot: later callers must queue
+            yield from self.execute(call)
+
+
+def _contended_run(spans: bool, sink=None):
+    kernel = Kernel(spans=spans)
+    if sink is not None:
+        kernel.obs.add_sink(sink)
+    obj = Slow(kernel, name="slow")
+    finishes = []
+
+    def caller(tag):
+        def body():
+            result = yield obj.work(tag)
+            finishes.append((tag, result, kernel.clock.now))
+
+        return body
+
+    for tag in range(4):
+        kernel.spawn(caller(tag), name=f"c{tag}")
+    kernel.run()
+    return kernel, finishes
+
+
+class TestSlotQueueInstantsAreScheduleNeutral:
+    """The PR's new phase events must honour the PR 3 contract: slot-queue
+    enter/leave markers are sink-only instants, never kernel events."""
+
+    def test_sink_attached_run_is_tick_identical(self):
+        k_off, out_off = _contended_run(spans=False)
+        sink = MemorySink()
+        k_on, out_on = _contended_run(spans=True, sink=sink)
+
+        assert out_on == out_off
+        assert k_on.clock.now == k_off.clock.now
+        assert k_on.stats.context_switches == k_off.stats.context_switches
+
+        # Non-vacuous: the contention really overflowed the hidden array
+        # and the sink saw both edges of the queue wait.
+        kinds = [r["kind"] for r in sink.records if r["type"] == "event"]
+        enters = kinds.count("slot.queue.enter")
+        leaves = kinds.count("slot.queue.leave")
+        assert enters >= 3  # 4 callers, 1 slot
+        assert leaves >= 1
+        detail = next(
+            r["detail"] for r in sink.records
+            if r["type"] == "event" and r["kind"] == "slot.queue.enter"
+        )
+        assert detail["obj"] == "slow" and detail["entry"] == "work"
+
+    def test_queue_instants_never_enter_the_kernel_trace(self):
+        # Sink-only delivery: the markers must not appear as kernel
+        # events even when kernel tracing is on — they are observations,
+        # not schedulable occurrences.
+        kernel = Kernel(trace=True, spans=True)
+        sink = kernel.obs.add_sink(MemorySink(), forward_trace=False)
+        obj = Slow(kernel, name="slow")
+        for tag in range(3):
+            kernel.spawn(lambda t=tag: (yield obj.work(t)), name=f"c{tag}")
+        kernel.run()
+        assert any(
+            r["type"] == "event" and r["kind"].startswith("slot.queue.")
+            for r in sink.records
+        )
+        assert not any(e.kind.startswith("slot.queue.") for e in kernel.trace)

@@ -62,6 +62,8 @@ from .core import (
     Finish,
     Intercept,
     PoolConfig,
+    Reject,
+    ShedGuard,
     Start,
     WhenGuard,
     accept,
@@ -71,9 +73,11 @@ from .core import (
     icpt,
     local,
     manager_process,
+    over_cap,
     par_range,
 )
 from .errors import (
+    AdmissionError,
     AlpsError,
     CallError,
     ChannelError,
@@ -150,6 +154,9 @@ __all__ = [
     "WhenGuard",
     "Start",
     "Finish",
+    "Reject",
+    "ShedGuard",
+    "over_cap",
     "accept",
     "await_call",
     "execute_call",
@@ -168,6 +175,7 @@ __all__ = [
     "Replicated",
     "place_replicated",
     # errors
+    "AdmissionError",
     "AlpsError",
     "DeadlockError",
     "GuardExhaustedError",

@@ -158,6 +158,9 @@ class Finding:
     col: int = 0
     obj: str | None = None
     entry: str | None = None
+    #: Fix-style hint: the corrected declaration/call the linter would
+    #: write in place of the offending one (arity findings set this).
+    suggestion: str | None = None
 
     @property
     def check(self) -> Check:
@@ -170,7 +173,10 @@ class Finding:
     def render(self) -> str:
         where = f"{self.path}:{self.line}"
         scope = f" [{self.obj}]" if self.obj else ""
-        return f"{where}: {self.code} {self.severity}:{scope} {self.message}"
+        text = f"{where}: {self.code} {self.severity}:{scope} {self.message}"
+        if self.suggestion:
+            text += f"\n    fix: {self.suggestion}"
+        return text
 
     def to_dict(self) -> dict:
         return {
@@ -183,6 +189,7 @@ class Finding:
             "col": self.col,
             "obj": self.obj,
             "entry": self.entry,
+            "suggestion": self.suggestion,
         }
 
     def __str__(self) -> str:  # pragma: no cover - trivial

@@ -40,8 +40,20 @@ from .model import (
 
 #: Method/function names recognized as protocol operations.  ``describe``
 #: strings and guard classes follow repro.core naming.
-_ACCEPT_NAMES = {"accept", "AcceptGuard"}
+_ACCEPT_NAMES = {"accept", "AcceptGuard", "ShedGuard"}
 _AWAIT_NAMES = {"await_", "await_call", "AwaitGuard"}
+
+
+def _call_signature(op: str, extra: int) -> str:
+    """Corrected ``Start``/``Finish`` call text with ``extra`` extras.
+
+    Placeholder names follow the op: hidden params for ``Start``
+    (``h0, h1, ...``), fabricated/forwarded results for ``Finish``
+    (``r0, r1, ...``).
+    """
+    prefix = "h" if op == "Start" else "r"
+    extras = "".join(f", {prefix}{i}" for i in range(extra))
+    return f"yield {op}(call{extras})"
 
 
 class _Site:
@@ -98,6 +110,7 @@ class ManagerLinter:
         node: ast.AST | None = None,
         line: int | None = None,
         entry: str | None = None,
+        suggestion: str | None = None,
     ) -> None:
         self.findings.append(
             Finding(
@@ -108,6 +121,7 @@ class ManagerLinter:
                 col=getattr(node, "col_offset", 0),
                 obj=self.obj.name,
                 entry=entry,
+                suggestion=suggestion,
             )
         )
 
@@ -141,6 +155,12 @@ class ManagerLinter:
                             f"manager does not intercept it",
                             line=entry.line,
                             entry=name,
+                            suggestion=(
+                                f"add {name!r} to the manager's intercepts — "
+                                f'@manager_process(intercepts={{..., "{name}": '
+                                f"icpt()}}) — or drop {label}={attr} from the "
+                                f"@entry declaration"
+                            ),
                         )
                 continue
             if (
@@ -154,6 +174,11 @@ class ManagerLinter:
                     f"only {entry.def_params} definition parameter(s)",
                     line=icpt.line,
                     entry=name,
+                    suggestion=(
+                        f'"{name}": icpt(params={entry.def_params}) — an '
+                        f"intercept can take at most the entry's "
+                        f"{entry.def_params} definition parameter(s)"
+                    ),
                 )
             if (
                 isinstance(icpt.results, int)
@@ -166,6 +191,11 @@ class ManagerLinter:
                     f"declares only returns={entry.returns}",
                     line=icpt.line,
                     entry=name,
+                    suggestion=(
+                        f'"{name}": icpt(results={entry.returns}) — an '
+                        f"intercept can take at most the entry's "
+                        f"returns={entry.returns} result(s)"
+                    ),
                 )
 
     # -- site collection ---------------------------------------------------
@@ -262,7 +292,7 @@ class ManagerLinter:
         args = node.args
         if self._is_self_method(node):
             candidates = args[:1]
-        elif name in ("AcceptGuard", "AwaitGuard", "accept", "await_call"):
+        elif name in ("AcceptGuard", "AwaitGuard", "ShedGuard", "accept", "await_call"):
             candidates = args[1:2]
         else:
             candidates = args[:1]
@@ -434,12 +464,19 @@ class ManagerLinter:
         required = got - len(lam.args.defaults)
         if required > expected or got < expected:
             what = "params" if kind == "accept" else "results"
+            prefix = "p" if kind == "accept" else "r"
+            names = ", ".join(f"{prefix}{i}" for i in range(expected))
+            corrected = f"lambda {names}: ..." if expected else "lambda: ..."
             self.report(
                 "ALP106",
                 f"when-condition on {kind} {entry!r} takes {got} argument(s) "
                 f"but the guard passes the {expected} intercepted {what}",
                 node=lam,
                 entry=entry,
+                suggestion=(
+                    f"when={corrected} — the condition receives exactly the "
+                    f"{expected} intercepted {what} of {entry!r}"
+                ),
             )
 
     def _check_start_arity(
@@ -468,6 +505,11 @@ class ManagerLinter:
                 f"hidden_params={declared}",
                 node=node,
                 entry=next(iter(entries)) if len(entries) == 1 else None,
+                suggestion=" or ".join(
+                    _call_signature("Start", count)
+                    for count in sorted(hidden_counts)
+                )
+                + f" — match hidden_params={declared}",
             )
 
     @staticmethod
@@ -540,6 +582,7 @@ class ManagerLinter:
                 continue
             ok = False
             expectations: list[str] = []
+            valid_counts: list[int] = []
             for entry in site.entries:
                 info = self.obj.entries.get(entry)
                 if info is None:
@@ -559,7 +602,9 @@ class ManagerLinter:
                     break
                 if starts.get(entry):
                     expectations.append(f"{icpt_results} (awaited {entry})")
+                    valid_counts.append(icpt_results)
                 expectations.append(f"{info.returns} (combining {entry})")
+                valid_counts.append(info.returns)
             if not ok and expectations:
                 self.report(
                     "ALP107",
@@ -571,6 +616,12 @@ class ManagerLinter:
                         if len(site.entries) == 1
                         else None
                     ),
+                    suggestion=" or ".join(
+                        _call_signature("Finish", count)
+                        for count in sorted(dict.fromkeys(valid_counts))
+                    )
+                    + " — the result count must match what the protocol "
+                    "expects at this site",
                 )
 
 

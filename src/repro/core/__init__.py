@@ -1,5 +1,13 @@
 """The ALPS object model: managers, hidden procedure arrays, call protocol."""
 
+from .admission import (
+    ACCEPT_PRI,
+    AWAIT_PRI,
+    SHED_PRI,
+    SHED_PRI_ALWAYS,
+    ShedGuard,
+    over_cap,
+)
 from .calls import Call, CallState
 from .combining import Combiner, combine_finishes
 from .entry import EntrySpec, Intercept, ObjectDefinition, entry, icpt, local
@@ -20,6 +28,7 @@ from .primitives import (
     AwaitGuard,
     EntryCall,
     Finish,
+    Reject,
     Start,
     WhenGuard,
     accept,
@@ -45,8 +54,15 @@ __all__ = [
     "AcceptGuard",
     "AwaitGuard",
     "WhenGuard",
+    "ShedGuard",
     "Start",
     "Finish",
+    "Reject",
+    "over_cap",
+    "AWAIT_PRI",
+    "SHED_PRI",
+    "ACCEPT_PRI",
+    "SHED_PRI_ALWAYS",
     "accept",
     "await_call",
     "execute_call",

@@ -1,0 +1,101 @@
+"""Admission control and backpressure, in the paper's vocabulary.
+
+Heavy open-loop traffic forces a question the paper's examples never
+face: what does a manager do when offered load exceeds capacity and the
+hidden procedure array plus its overflow queue (§2.5) only grow?  The
+answer composes three mechanisms ALPS already has:
+
+* **queue-cap guards** — an acceptance condition reading ``#P``
+  (§2.5.1): ``when #P > cap`` opens a *load-shedding arm* exactly when
+  the backlog exceeds the budget;
+* **load-shedding** — the arm accepts the excess call (rendezvous is
+  the only way to reach it) and yields
+  :class:`~repro.core.primitives.Reject`, resuming the caller with
+  :class:`~repro.errors.AdmissionError` at finish cost, far below
+  service cost;
+* **``pri``-based preference for in-flight work** — run-time guard
+  priorities (§2.4) order the manager's arms so work already admitted
+  completes before new work is admitted.
+
+The conventional arm priorities (smallest wins):
+
+======================  ====  =================================================
+arm                     pri   rationale
+======================  ====  =================================================
+``await`` (in-flight)   0     finish admitted work first: it holds slots/workers
+shed (``#P > cap``)     1     under overload, drain the backlog at reject cost
+normal ``accept``       2     admit new work only when not saturated
+======================  ====  =================================================
+
+Managers whose normal accept arm carries a *callable* ``pri`` (SCAN,
+best-fit) use :data:`SHED_PRI_ALWAYS` for the shed arm instead — a priority
+value below any the callable can produce, so shedding still wins under
+overload.
+
+Usage inside a manager::
+
+    result = yield Select(
+        AwaitGuard(self, "get", pri=AWAIT_PRI),
+        ShedGuard(self, "get", cap=self.queue_cap),
+        AcceptGuard(self, "get", pri=ACCEPT_PRI),
+    )
+    call = result.value
+    if isinstance(result.guard, ShedGuard):
+        yield Reject(call)
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .primitives import AcceptGuard
+
+#: Conventional arm priorities (see module docstring; smallest wins).
+AWAIT_PRI = 0
+SHED_PRI = 1
+ACCEPT_PRI = 2
+
+#: Shed-arm priority that undercuts callable accept priorities (SCAN
+#: keys, best-fit negated amounts) — any value those expressions can
+#: realistically produce sorts after it.
+SHED_PRI_ALWAYS = -(10**9)
+
+
+def over_cap(obj: Any, proc_name: str, cap: int) -> Callable[..., bool]:
+    """Acceptance condition ``#P > cap`` for entry ``proc_name``.
+
+    ``#P`` is the paper's pending count (§2.5.1): attached-but-not-yet-
+    accepted calls plus the overflow queue.  The returned callable
+    ignores the intercepted parameters it is handed, so it fits guards
+    of any arity.
+    """
+    if cap < 0:
+        raise ValueError(f"queue cap must be >= 0, got {cap}")
+    runtime = obj._entry_runtime(proc_name)
+    return lambda *_args: runtime.pending_count() > cap
+
+
+class ShedGuard(AcceptGuard):
+    """``accept P when #P > cap pri E`` — the load-shedding arm.
+
+    An :class:`~repro.core.primitives.AcceptGuard` whose acceptance
+    condition is the queue-cap predicate; the manager recognizes the
+    chosen arm by type and yields ``Reject`` instead of ``Start``.  The
+    guard sheds in attachment order (oldest queued call first), which
+    bounds the latency of the calls that *are* served: the backlog never
+    silently ages.
+    """
+
+    def __init__(
+        self,
+        obj: Any,
+        proc_name: str,
+        cap: int,
+        pri: Any = SHED_PRI,
+    ) -> None:
+        super().__init__(obj, proc_name, when=over_cap(obj, proc_name, cap), pri=pri)
+        self.cap = cap
+
+    def describe(self) -> str:
+        return f"shed {self.runtime.spec.name} (#P > {self.cap})"

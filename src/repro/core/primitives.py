@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
-from ..errors import CallError, ProtocolError, RemoteCallError
+from ..errors import AdmissionError, CallError, ProtocolError, RemoteCallError
 from ..kernel.process import ProcessState
 from ..kernel.syscalls import Select, Syscall
 from ..kernel.waiting import Guard, Ready, Waitable
@@ -451,6 +451,51 @@ class Finish(Syscall):
         runtime.detach(call)
         runtime.record(call)
         runtime.resume_caller(call, final)
+        kernel.schedule_resume(proc, None, cost=cost + kernel.costs.finish)
+
+
+class Reject(Syscall):
+    """``reject P[i]``: shed an accepted call instead of serving it.
+
+    The admission-control counterpart of ``finish`` (not in the paper's
+    syntax, but composed entirely from its mechanisms): a manager arm
+    guarded by the queue length — ``when #P > cap`` (§2.5.1) — accepts
+    the excess call (the rendezvous is the only way to reach it) and
+    refuses it without ever ``start``-ing a body.  The caller is resumed
+    with :class:`~repro.errors.AdmissionError`; the array slot frees
+    immediately so a waiting call can attach.  Like ``finish``,
+    ``reject`` never blocks, and its cost is the finish cost — shedding
+    must stay cheaper than serving or it is no defence against overload.
+    """
+
+    __slots__ = ("call", "reason")
+
+    def __init__(self, call: Call, reason: str = "queue-cap") -> None:
+        self.call = call
+        self.reason = reason
+
+    def handle(self, kernel: "Kernel", proc: "Process", cost: int) -> None:
+        call = self.call
+        try:
+            call._expect_state(CallState.ACCEPTED)
+        except ProtocolError as exc:
+            kernel.schedule_throw(proc, exc)
+            return
+        runtime = _runtime_of(call.obj, call.entry)
+        call.finished_at = kernel.clock.now
+        kernel.stats.calls_shed += 1
+        runtime.detach(call)
+        runtime.fail_caller(
+            call,
+            AdmissionError(
+                f"{call.obj.alps_name}.{call.entry} shed the call "
+                f"({self.reason})",
+                entry=call.entry,
+                obj=call.obj.alps_name,
+                reason=self.reason,
+            ),
+            status="shed",
+        )
         kernel.schedule_resume(proc, None, cost=cost + kernel.costs.finish)
 
 

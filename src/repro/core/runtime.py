@@ -303,8 +303,14 @@ class EntryRuntime:
         if self.kernel.obs.enabled:
             self.kernel.obs.complete_call(call, status="ok")
 
-    def fail_caller(self, call: Call, exc: BaseException) -> None:
-        """Propagate a body failure to the caller (at most once)."""
+    def fail_caller(
+        self, call: Call, exc: BaseException, status: str = "error"
+    ) -> None:
+        """Propagate a body failure to the caller (at most once).
+
+        ``status`` labels the call's root span on completion — ``"error"``
+        for body failures, ``"shed"`` when admission control rejected it.
+        """
         call.state = CallState.FAILED
         if call.caller_resumed:
             return
@@ -312,7 +318,7 @@ class EntryRuntime:
         if call.timeout_cancel is not None:
             call.timeout_cancel["cancelled"] = True
         if self.kernel.obs.enabled:
-            self.kernel.obs.complete_call(call, status="error")
+            self.kernel.obs.complete_call(call, status=status)
         self.kernel.schedule_throw(call.caller, exc)
 
     def record(self, call: Call) -> None:

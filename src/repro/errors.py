@@ -94,6 +94,33 @@ class CallError(AlpsError):
     """An entry call failed (unknown procedure, arity mismatch, ...)."""
 
 
+class AdmissionError(CallError):
+    """The target object shed this call instead of serving it.
+
+    Raised in the caller when a manager running admission control — a
+    ``#P`` queue-cap guard (§2.5.1) selecting a load-shedding arm —
+    accepted the call and ``Reject``-ed it without ever starting a body.
+    Distinct from :class:`RemoteCallError`: the object is reachable and
+    healthy, it is *refusing* work, so blind retries only add load.
+    Backpressure-aware clients catch this and back off.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        entry: str | None = None,
+        obj: str | None = None,
+        reason: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: Name of the entry procedure the shed call targeted, if known.
+        self.entry = entry
+        #: ``alps_name`` of the shedding object, if known.
+        self.obj = obj
+        #: Short machine-readable shed reason (e.g. ``"queue-cap"``).
+        self.reason = reason
+
+
 class PathExpressionError(AlpsError):
     """A path expression failed to parse or was violated at run time."""
 

@@ -45,6 +45,8 @@ class KernelStats:
     calls_completed: int = 0
     #: Calls answered by combining (finished without a start).
     calls_combined: int = 0
+    #: Calls shed by admission control (accepted, then rejected).
+    calls_shed: int = 0
     #: Simulated CPU ticks consumed by Charge syscalls.
     work_ticks: int = 0
     #: Extra tallies keyed by label (benchmarks may add their own).

@@ -437,6 +437,56 @@ def critical_path(rec: Recording, root: SpanRecord | None = None) -> list[ChainL
 
 
 # ----------------------------------------------------------------------
+# Flame-graph folded-stack export
+# ----------------------------------------------------------------------
+
+
+def folded_stacks(rec: Recording) -> list[str]:
+    """The recording in Brendan Gregg's folded-stack format.
+
+    One line per unique span path, ``frame;frame;... ticks``, where each
+    frame is ``kind:name`` (prefixed with the root span's process) and
+    the value is the path's **self time**: the ticks the deepest span
+    does not delegate to children.  ``flamegraph.pl`` and every
+    compatible viewer (speedscope, inferno) render the output directly.
+
+    The export preserves the profiler's exactness contract: the values
+    sum to exactly the total duration of the recording's top-level
+    spans, so the flame graph and the phase-attribution table describe
+    the same ticks.  Instantaneous spans (duration 0) contribute lines
+    with value 0 so leaf identity survives the round trip.
+    """
+    totals: dict[str, int] = {}
+
+    def walk(span: SpanRecord, prefix: tuple[str, ...]) -> None:
+        path = prefix + (f"{span.kind}:{span.name}",)
+        kids = rec.children(span.id)
+        self_ticks = span.duration - sum(k.duration for k in kids)
+        if self_ticks != 0 or not kids:
+            key = ";".join(path)
+            totals[key] = totals.get(key, 0) + self_ticks
+        for kid in kids:
+            walk(kid, path)
+
+    for root in rec.top_level():
+        prefix = (root.process,) if root.process else ()
+        walk(root, prefix)
+    return [f"{key} {value}" for key, value in sorted(totals.items())]
+
+
+def parse_folded(lines: Iterable[str]) -> dict[tuple[str, ...], int]:
+    """Parse folded-stack lines back to ``frames -> ticks`` (round trip)."""
+    out: dict[tuple[str, ...], int] = {}
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, value = line.rpartition(" ")
+        out[tuple(stack.split(";"))] = int(value)
+    return out
+
+
+# ----------------------------------------------------------------------
 # Replication classification (sequencer apply vs forward)
 # ----------------------------------------------------------------------
 
@@ -625,6 +675,11 @@ def main(argv: list[str] | None = None) -> int:
         "--waitgraph", metavar="SNAPSHOT",
         help="wait-for snapshot JSON to render as DOT after the report",
     )
+    parser.add_argument(
+        "--folded", metavar="FILE",
+        help="also write the recording as flame-graph folded stacks "
+             "(flamegraph.pl / speedscope input); '-' for stdout",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -632,6 +687,15 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, ValueError, json.JSONDecodeError, KeyError) as exc:
         print(f"analyze: cannot load {args.trace}: {exc}", file=sys.stderr)
         return 2
+
+    if args.folded:
+        folded = folded_stacks(rec)
+        if args.folded == "-":
+            for line in folded:
+                print(line)
+            return 0
+        with open(args.folded, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(folded) + ("\n" if folded else ""))
 
     if args.as_json:
         text = json.dumps(report_json(rec, top=args.top), indent=2,

@@ -93,6 +93,14 @@ TRACKED: dict[str, Experiment] = {
          Metric("goodput_per_ktick", higher_is_better=True, tolerance=0.05),
          Metric("lost_acked", higher_is_better=False, tolerance=0.0)],
     ),
+    "E14": Experiment(
+        ("object", "arrival", "mean_gap"),
+        [Metric("goodput_per_ktick", higher_is_better=True, tolerance=0.05),
+         Metric("p99", higher_is_better=False, tolerance=0.10),
+         # Harness invariant: an `error` outcome is a bug in the driven
+         # object, so any move off zero fails the gate.
+         Metric("error", higher_is_better=False, tolerance=0.0)],
+    ),
 }
 
 

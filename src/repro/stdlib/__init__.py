@@ -9,6 +9,7 @@
 * :class:`Barrier`, :class:`ResourceAllocator` — pure manager combining.
 * :class:`Supervisor` — crash recovery for watched objects (repro.faults).
 * :class:`KVStore` — a writable mapping, the canonical replication target.
+* :class:`GatedKVStore` — the same store behind an admitting manager.
 """
 
 from .alarm_clock import AlarmClock
@@ -16,7 +17,7 @@ from .barrier import Barrier
 from .bounded_buffer import BoundedBuffer
 from .dictionary import Dictionary
 from .disk_scheduler import DiskScheduler
-from .kv_store import KVStore
+from .kv_store import GatedKVStore, KVStore
 from .parallel_buffer import ParallelBuffer
 from .readers_writers import Database
 from .resource_allocator import ResourceAllocator
@@ -36,4 +37,5 @@ __all__ = [
     "ResourceAllocator",
     "Supervisor",
     "KVStore",
+    "GatedKVStore",
 ]

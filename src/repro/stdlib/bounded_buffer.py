@@ -18,7 +18,16 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..core import AcceptGuard, AlpsObject, entry, manager_process
+from ..core import (
+    ACCEPT_PRI,
+    SHED_PRI,
+    AcceptGuard,
+    AlpsObject,
+    Reject,
+    ShedGuard,
+    entry,
+    manager_process,
+)
 from ..kernel.syscalls import Charge, Select
 
 
@@ -26,14 +35,19 @@ class BoundedBuffer(AlpsObject):
     """``object Buffer`` — manager-synchronized bounded buffer.
 
     Configuration: ``size`` (slot count), ``work`` (simulated ticks each
-    body spends copying the message; 0 by default).
+    body spends copying the message; 0 by default), ``queue_cap``
+    (optional admission control: when more than ``queue_cap`` calls of
+    one entry are pending — the paper's ``#P``, §2.5.1 — the excess is
+    shed with :class:`~repro.errors.AdmissionError` instead of queueing
+    without bound).
     """
 
-    def setup(self, size: int = 8, work: int = 0) -> None:
+    def setup(self, size: int = 8, work: int = 0, queue_cap: int | None = None) -> None:
         if size < 1:
             raise ValueError(f"buffer size must be >= 1, got {size}")
         self.size = size
         self.work = work
+        self.queue_cap = queue_cap
         self.buf: list[Any] = [None] * size
         self.inptr = 0
         self.outptr = 0
@@ -58,12 +72,30 @@ class BoundedBuffer(AlpsObject):
         # "The variable Count - which is local to the manager - is used to
         # maintain the state of the buffer."
         count = 0
+        cap = self.queue_cap
         while True:
-            result = yield Select(
-                AcceptGuard(self, "deposit", when=lambda: count < self.size),
-                AcceptGuard(self, "remove", when=lambda: count > 0),
-            )
+            if cap is None:
+                guards = [
+                    AcceptGuard(self, "deposit", when=lambda: count < self.size),
+                    AcceptGuard(self, "remove", when=lambda: count > 0),
+                ]
+            else:
+                # Admission control: under overload (#P > cap) the shed
+                # arms outrank the service arms, so the backlog drains at
+                # reject cost instead of growing without bound.
+                guards = [
+                    ShedGuard(self, "deposit", cap=cap, pri=SHED_PRI),
+                    ShedGuard(self, "remove", cap=cap, pri=SHED_PRI),
+                    AcceptGuard(self, "deposit", when=lambda: count < self.size,
+                                pri=ACCEPT_PRI),
+                    AcceptGuard(self, "remove", when=lambda: count > 0,
+                                pri=ACCEPT_PRI),
+                ]
+            result = yield Select(*guards)
             call = result.value
+            if isinstance(result.guard, ShedGuard):
+                yield Reject(call)
+                continue
             # execute = start; await; finish — the manager "waits until
             # the procedure terminates before accepting another call".
             yield from self.execute(call)

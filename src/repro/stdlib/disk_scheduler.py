@@ -11,7 +11,16 @@ intercepted invocation parameter*.
 
 from __future__ import annotations
 
-from ..core import AcceptGuard, AlpsObject, entry, icpt, manager_process
+from ..core import (
+    SHED_PRI_ALWAYS,
+    AcceptGuard,
+    AlpsObject,
+    Reject,
+    ShedGuard,
+    entry,
+    icpt,
+    manager_process,
+)
 from ..kernel.syscalls import Charge, Select
 
 
@@ -20,7 +29,8 @@ class DiskScheduler(AlpsObject):
 
     Configuration: ``cylinders`` (disk size), ``seek_cost`` (ticks per
     cylinder moved), ``transfer_work`` (ticks per access), ``request_max``
-    (hidden array size).
+    (hidden array size), ``queue_cap`` (optional admission control: shed
+    requests once more than ``queue_cap`` are pending, §2.5.1 ``#P``).
     """
 
     def setup(
@@ -29,11 +39,13 @@ class DiskScheduler(AlpsObject):
         seek_cost: int = 1,
         transfer_work: int = 2,
         request_max: int = 16,
+        queue_cap: int | None = None,
     ) -> None:
         self.cylinders = cylinders
         self.seek_cost = seek_cost
         self.transfer_work = transfer_work
         self.request_max = request_max
+        self.queue_cap = queue_cap
         self.head = 0
         self.direction = 1  # +1 sweeping up, -1 sweeping down
         #: Order in which cylinders were served (tests check SCAN-ness).
@@ -60,8 +72,9 @@ class DiskScheduler(AlpsObject):
 
     @manager_process(intercepts={"access": icpt(params=1)})
     def mgr(self):
+        cap = self.queue_cap
         while True:
-            result = yield Select(
+            guards = [
                 AcceptGuard(
                     self,
                     "access",
@@ -69,8 +82,18 @@ class DiskScheduler(AlpsObject):
                     # "can possibly use values received by an accept").
                     pri=lambda call: self._scan_priority(call.args[0]),
                 ),
-            )
+            ]
+            if cap is not None:
+                # The SCAN arm's callable pri is 0..3*cylinders, so the
+                # shed arm needs a priority below anything it can produce.
+                guards.append(
+                    ShedGuard(self, "access", cap=cap, pri=SHED_PRI_ALWAYS)
+                )
+            result = yield Select(*guards)
             call = result.value
+            if isinstance(result.guard, ShedGuard):
+                yield Reject(call)
+                continue
             cylinder = call.args[0]
             if (cylinder - self.head) * self.direction < 0:
                 self.direction = -self.direction  # reverse the sweep

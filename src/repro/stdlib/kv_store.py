@@ -17,8 +17,21 @@ co-located :class:`~repro.faults.Beacon`.
 
 from __future__ import annotations
 
-from ..core import AlpsObject, entry
-from ..kernel.syscalls import Charge
+from ..core import (
+    ACCEPT_PRI,
+    AWAIT_PRI,
+    SHED_PRI,
+    AcceptGuard,
+    AlpsObject,
+    AwaitGuard,
+    Finish,
+    Reject,
+    ShedGuard,
+    Start,
+    entry,
+    manager_process,
+)
+from ..kernel.syscalls import Charge, Select
 
 
 class KVStore(AlpsObject):
@@ -73,3 +86,83 @@ class KVStore(AlpsObject):
     @entry(returns=1)
     def ping(self):
         return "ok"
+
+
+class GatedKVStore(AlpsObject):
+    """``object GatedKVStore`` — a KV store behind an admitting manager.
+
+    The unmanaged :class:`KVStore` stays maximally concurrent for the
+    replication layer; this variant fronts the same three operations with
+    a manager that applies admission control, for open-loop traffic that
+    can outrun the store.  Bodies still run concurrently (the manager
+    ``Start``\\ s them and reclaims slots via ``await``), so the manager
+    adds gating, not serialization.
+
+    Configuration: ``data`` (initial mapping), ``read_work`` /
+    ``write_work`` (ticks per operation), ``request_max`` (hidden array
+    size per entry), ``queue_cap`` (admission control: shed an entry's
+    calls once more than ``queue_cap`` are pending, §2.5.1 ``#P``).
+    """
+
+    OPS = ("get", "put", "delete")
+
+    def setup(
+        self,
+        data: dict | None = None,
+        read_work: int = 0,
+        write_work: int = 0,
+        request_max: int = 16,
+        queue_cap: int | None = None,
+    ) -> None:
+        self.data = dict(data or {})
+        self.read_work = read_work
+        self.write_work = write_work
+        self.request_max = request_max
+        self.queue_cap = queue_cap
+        self.reads_served = 0
+        self.writes_applied = 0
+
+    @entry(returns=1, array="request_max")
+    def get(self, key):
+        if self.read_work:
+            yield Charge(self.read_work, label="get")
+        self.reads_served += 1
+        return self.data.get(key)
+
+    @entry(returns=1, array="request_max")
+    def put(self, key, value):
+        if self.write_work:
+            yield Charge(self.write_work, label="put")
+        self.data[key] = value
+        self.writes_applied += 1
+        return value
+
+    @entry(returns=1, array="request_max")
+    def delete(self, key):
+        if self.write_work:
+            yield Charge(self.write_work, label="delete")
+        self.writes_applied += 1
+        return self.data.pop(key, None)
+
+    @manager_process(intercepts=["get", "put", "delete"])
+    def mgr(self):
+        cap = self.queue_cap
+        while True:
+            if cap is None:
+                guards = [AwaitGuard(self, op) for op in self.OPS]
+                guards += [AcceptGuard(self, op) for op in self.OPS]
+            else:
+                guards = [AwaitGuard(self, op, pri=AWAIT_PRI) for op in self.OPS]
+                guards += [
+                    ShedGuard(self, op, cap=cap, pri=SHED_PRI) for op in self.OPS
+                ]
+                guards += [AcceptGuard(self, op, pri=ACCEPT_PRI) for op in self.OPS]
+            result = yield Select(*guards)
+            call = result.value
+            if isinstance(result.guard, ShedGuard):
+                yield Reject(call)
+            elif isinstance(result.guard, AcceptGuard):
+                # Async start: bodies overlap, the manager only gates.
+                yield Start(call)
+            else:
+                yield Finish(call)

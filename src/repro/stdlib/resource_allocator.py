@@ -12,7 +12,17 @@ request first (best-fit) instead.
 
 from __future__ import annotations
 
-from ..core import AcceptGuard, AlpsObject, Finish, entry, icpt, manager_process
+from ..core import (
+    SHED_PRI_ALWAYS,
+    AcceptGuard,
+    AlpsObject,
+    Finish,
+    Reject,
+    ShedGuard,
+    entry,
+    icpt,
+    manager_process,
+)
 from ..kernel.syscalls import Select
 
 
@@ -21,13 +31,22 @@ class ResourceAllocator(AlpsObject):
 
     Configuration: ``total`` (units available), ``policy`` — ``"fifo"``
     (any satisfiable request, attachment order) or ``"best-fit"``
-    (largest satisfiable request first, via run-time ``pri``).
+    (largest satisfiable request first, via run-time ``pri``),
+    ``queue_cap`` (optional admission control on ``acquire``: shed once
+    more than ``queue_cap`` acquires are pending; ``release`` is never
+    shed — it returns capacity and must always get through).
 
     Both entries are pure synchronization: the manager answers them by
     combining (§2.7), so no server processes are ever created.
     """
 
-    def setup(self, total: int = 10, policy: str = "fifo", request_max: int = 16) -> None:
+    def setup(
+        self,
+        total: int = 10,
+        policy: str = "fifo",
+        request_max: int = 16,
+        queue_cap: int | None = None,
+    ) -> None:
         if total < 0:
             raise ValueError(f"total must be >= 0, got {total}")
         if policy not in ("fifo", "best-fit"):
@@ -35,6 +54,7 @@ class ResourceAllocator(AlpsObject):
         self.total = total
         self.policy = policy
         self.request_max = request_max
+        self.queue_cap = queue_cap
         self.available = total
         #: (time, available) after every state change, for tests.
         self.history: list[tuple[int, int]] = []
@@ -64,11 +84,20 @@ class ResourceAllocator(AlpsObject):
                     else None
                 ),
             )
-            result = yield Select(
-                acquire_guard,
-                AcceptGuard(self, "release"),
-            )
+            guards = [acquire_guard, AcceptGuard(self, "release")]
+            if self.queue_cap is not None:
+                # Shed acquires only; the best-fit pri is -amount, so the
+                # shed arm must undercut any negated request size.
+                guards.append(
+                    ShedGuard(
+                        self, "acquire", cap=self.queue_cap, pri=SHED_PRI_ALWAYS
+                    )
+                )
+            result = yield Select(*guards)
             call = result.value
+            if isinstance(result.guard, ShedGuard):
+                yield Reject(call)
+                continue
             amount = call.args[0]
             if call.entry == "acquire":
                 self.available -= amount

@@ -13,7 +13,20 @@ with a hidden ``printer`` parameter and a hidden printer-number result.
 
 from __future__ import annotations
 
-from ..core import AcceptGuard, AlpsObject, AwaitGuard, Finish, Start, entry, manager_process
+from ..core import (
+    ACCEPT_PRI,
+    AWAIT_PRI,
+    SHED_PRI,
+    AcceptGuard,
+    AlpsObject,
+    AwaitGuard,
+    Finish,
+    Reject,
+    ShedGuard,
+    Start,
+    entry,
+    manager_process,
+)
 from ..kernel.syscalls import Charge, Select
 
 
@@ -31,14 +44,23 @@ class Spooler(AlpsObject):
     """``object Spooler`` — schedules print requests onto a printer pool.
 
     Configuration: ``printers`` (pool size), ``speed`` (ticks per page),
-    ``job_max`` (hidden array size = simultaneous print jobs).
+    ``job_max`` (hidden array size = simultaneous print jobs),
+    ``queue_cap`` (optional admission control: shed print requests once
+    more than ``queue_cap`` are pending, §2.5.1 ``#P``).
     """
 
-    def setup(self, printers: int = 3, speed: int = 5, job_max: int = 16) -> None:
+    def setup(
+        self,
+        printers: int = 3,
+        speed: int = 5,
+        job_max: int = 16,
+        queue_cap: int | None = None,
+    ) -> None:
         if printers < 1:
             raise ValueError(f"need at least one printer, got {printers}")
         self.printer_pool = [Printer(i, speed) for i in range(printers)]
         self.job_max = job_max
+        self.queue_cap = queue_cap
         #: Busy intervals per printer for the utilization benchmark.
         self.busy_intervals: dict[int, list[tuple[int, int]]] = {
             p.number: [] for p in self.printer_pool
@@ -63,15 +85,29 @@ class Spooler(AlpsObject):
     @manager_process(intercepts=["print_file"])
     def mgr(self):
         free = list(range(len(self.printer_pool)))  # free printer numbers
+        cap = self.queue_cap
         while True:
-            result = yield Select(
-                # accept Print[i] when a printer is free
-                AcceptGuard(self, "print_file", when=lambda: bool(free)),
-                # (i) await Print[i](printer#) => reclaim the printer
-                AwaitGuard(self, "print_file"),
-            )
+            if cap is None:
+                guards = [
+                    # accept Print[i] when a printer is free
+                    AcceptGuard(self, "print_file", when=lambda: bool(free)),
+                    # (i) await Print[i](printer#) => reclaim the printer
+                    AwaitGuard(self, "print_file"),
+                ]
+            else:
+                # pri-preference for in-flight work: reclaim printers
+                # before admitting; shed before admitting under overload.
+                guards = [
+                    AwaitGuard(self, "print_file", pri=AWAIT_PRI),
+                    ShedGuard(self, "print_file", cap=cap, pri=SHED_PRI),
+                    AcceptGuard(self, "print_file", when=lambda: bool(free),
+                                pri=ACCEPT_PRI),
+                ]
+            result = yield Select(*guards)
             call = result.value
-            if isinstance(result.guard, AcceptGuard):
+            if isinstance(result.guard, ShedGuard):
+                yield Reject(call)
+            elif isinstance(result.guard, AcceptGuard):
                 number = free.pop(0)
                 # start Print[i](file, printer) — hidden parameter.
                 yield Start(call, self.printer_pool[number])

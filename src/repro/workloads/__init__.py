@@ -1,6 +1,8 @@
-"""Workload generation: arrivals, popularity skew, deterministic traces."""
+"""Workload generation: arrivals, skew, traces, and the traffic engine."""
 
+from .engine import Outcome, Request, TrafficEngine, TrafficResult
 from .generators import ArrivalProcess, Bursty, Poisson, Uniform, closed_loop, open_loop
+from .slo import SloReport, find_knee, percentile, summarize
 from .traces import TraceEntry, mixed_trace, replay
 from .zipf import Zipf, word_corpus
 
@@ -16,4 +18,12 @@ __all__ = [
     "TraceEntry",
     "mixed_trace",
     "replay",
+    "TrafficEngine",
+    "TrafficResult",
+    "Request",
+    "Outcome",
+    "SloReport",
+    "summarize",
+    "percentile",
+    "find_knee",
 ]

@@ -1,0 +1,92 @@
+"""Fix-style suggestions on the arity findings (ALP105-ALP108)."""
+
+from pathlib import Path
+
+from repro.analysis import lint_source
+
+FIXTURES = Path(__file__).parent.parent / "fixtures" / "analysis"
+
+
+def lint_fixture(name: str):
+    return lint_source(
+        (FIXTURES / name).read_text(encoding="utf-8"), path=name
+    )
+
+
+def by_code(findings, code):
+    return [f for f in findings if f.code == code]
+
+
+class TestArityFindingsCarrySuggestions:
+    def test_alp105_intercept_arity(self):
+        findings = by_code(
+            lint_fixture("bad_alp105_intercept_arity.py"), "ALP105"
+        )
+        assert findings
+        assert all(f.suggestion for f in findings)
+        texts = " | ".join(f.suggestion for f in findings)
+        # The param/result overcounts point at a corrected icpt(...), the
+        # hidden-without-intercept one at the intercepts clause.
+        assert "icpt(" in texts
+        assert "intercepts" in texts
+
+    def test_alp106_when_arity(self):
+        findings = by_code(lint_fixture("bad_alp106_when_arity.py"), "ALP106")
+        assert findings
+        (finding,) = findings
+        # The corrected lambda takes exactly the 1 intercepted param.
+        assert finding.suggestion is not None
+        assert "lambda p0:" in finding.suggestion
+
+    def test_alp107_finish_result_arity(self):
+        findings = by_code(
+            lint_fixture("bad_alp107_finish_result_arity.py"), "ALP107"
+        )
+        assert findings
+        (finding,) = findings
+        assert finding.suggestion is not None
+        # Combining a returns=1 entry: the only valid call shape.
+        assert "yield Finish(call, r0)" in finding.suggestion
+
+    def test_alp108_start_hidden_arity(self):
+        findings = by_code(
+            lint_fixture("bad_alp108_start_hidden_arity.py"), "ALP108"
+        )
+        assert findings
+        (finding,) = findings
+        assert finding.suggestion is not None
+        assert "yield Start(call, h0)" in finding.suggestion
+        assert "hidden_params=1" in finding.suggestion
+
+
+class TestSuggestionPlumbing:
+    def test_render_appends_fix_line(self):
+        findings = by_code(
+            lint_fixture("bad_alp108_start_hidden_arity.py"), "ALP108"
+        )
+        rendered = findings[0].render()
+        assert "\n    fix: " in rendered
+
+    def test_to_dict_carries_suggestion(self):
+        findings = by_code(
+            lint_fixture("bad_alp107_finish_result_arity.py"), "ALP107"
+        )
+        record = findings[0].to_dict()
+        assert record["suggestion"] == findings[0].suggestion
+        assert record["suggestion"]
+
+    def test_non_arity_findings_have_no_suggestion(self):
+        findings = lint_fixture("bad_alp101_never_accepted.py")
+        assert findings
+        for finding in findings:
+            assert finding.suggestion is None
+            assert "fix:" not in finding.render()
+
+    def test_clean_fixtures_stay_clean(self):
+        for name in (
+            "good_alp105_arities_fit.py",
+            "good_alp106_when_matches.py",
+            "good_alp107_combining.py",
+            "good_alp108_hidden_matches.py",
+        ):
+            assert lint_fixture(name) == []

@@ -1,0 +1,224 @@
+"""Tests for the open-loop traffic engine."""
+
+import random
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.costs import FREE
+from repro.obs import diff as obsdiff
+from repro.stdlib import BoundedBuffer, GatedKVStore
+from repro.workloads import (
+    Poisson,
+    Request,
+    TrafficEngine,
+    TrafficResult,
+    Uniform,
+)
+from repro.workloads.engine import Outcome
+
+
+def kv_request(kv):
+    def build(req):
+        key = f"k{req.caller % 8}"
+        if req.index % 3 == 0:
+            return kv.put(key, req.index)
+        return kv.get(key)
+
+    return build
+
+
+def make_engine(kernel, *, count=60, gap=2, clients=8, seed=3, **kw):
+    kv = GatedKVStore(kernel, read_work=1, write_work=3, request_max=4, queue_cap=4)
+    return TrafficEngine(
+        kernel,
+        Poisson(gap, seed=seed),
+        count,
+        kv_request(kv),
+        callers=1_000_000,
+        engines=4,
+        clients=clients,
+        seed=seed,
+        **kw,
+    )
+
+
+class TestSchedule:
+    def test_deterministic_for_seed(self):
+        a = make_engine(Kernel(costs=FREE)).schedule
+        b = make_engine(Kernel(costs=FREE)).schedule
+        assert a == b
+
+    def test_independent_of_kernel_seed(self):
+        # The engine draws from its own string-seeded RNG: the kernel's
+        # integer arbitration seed cannot perturb the offered load.
+        a = make_engine(Kernel(costs=FREE, seed=0)).schedule
+        b = make_engine(Kernel(costs=FREE, seed=12345)).schedule
+        assert a == b
+
+    def test_independent_of_global_random(self):
+        random.seed(1)
+        a = make_engine(Kernel(costs=FREE)).schedule
+        random.seed(999)
+        b = make_engine(Kernel(costs=FREE)).schedule
+        assert a == b
+
+    def test_seed_changes_schedule(self):
+        a = make_engine(Kernel(costs=FREE), seed=3).schedule
+        b = make_engine(Kernel(costs=FREE), seed=4).schedule
+        assert a != b
+
+    def test_caller_slices_partition_schedule(self):
+        engine = make_engine(Kernel(costs=FREE))
+        slices = [engine.slice_for(i) for i in range(engine.engines)]
+        merged = sorted(
+            (req for slice_ in slices for req in slice_), key=lambda r: r.index
+        )
+        assert merged == engine.schedule
+        for i, slice_ in enumerate(slices):
+            assert all(req.caller % engine.engines == i for req in slice_)
+
+    def test_per_caller_seq_numbers(self):
+        engine = make_engine(Kernel(costs=FREE), count=500)
+        seen: dict[int, int] = {}
+        for req in engine.schedule:
+            assert req.seq == seen.get(req.caller, 0)
+            seen[req.caller] = req.seq + 1
+
+    def test_arrival_times_monotone(self):
+        engine = make_engine(Kernel(costs=FREE))
+        times = [req.at for req in engine.schedule]
+        assert times == sorted(times)
+
+    def test_parameter_validation(self):
+        kernel = Kernel(costs=FREE)
+        proc = Uniform(1)
+        with pytest.raises(ValueError):
+            TrafficEngine(kernel, proc, -1, lambda r: None)
+        with pytest.raises(ValueError):
+            TrafficEngine(kernel, proc, 1, lambda r: None, callers=0)
+        with pytest.raises(ValueError):
+            TrafficEngine(kernel, proc, 1, lambda r: None, engines=0)
+        with pytest.raises(ValueError):
+            TrafficEngine(kernel, proc, 1, lambda r: None, clients=0)
+
+
+class TestRun:
+    def test_conservation_exact(self):
+        engine = make_engine(Kernel(costs=FREE))
+        result = engine.run()
+        counts = result.counts
+        assert sum(counts.values()) == engine.count
+        assert counts["error"] == 0
+
+    def test_tiny_client_bound_drops(self):
+        engine = make_engine(Kernel(costs=FREE), count=80, gap=1, clients=1)
+        result = engine.run()
+        assert result.counts["dropped"] > 0
+        result.check_conservation()
+
+    def test_latency_from_scheduled_arrival(self):
+        # An outcome's latency is finish − *scheduled* arrival, so issue
+        # lag inside a saturated engine can't flatter the numbers.
+        req = Request(index=0, at=10, caller=1, seq=0)
+        outcome = Outcome(request=req, status="ok", issued_at=14, finished_at=20)
+        assert outcome.latency == 10
+
+    def test_conservation_reports_truncation(self):
+        # Stopping the kernel mid-flight leaves requests unaccounted; the
+        # check names the imbalance instead of inventing outcomes.
+        engine = make_engine(Kernel(costs=FREE), count=60, gap=2)
+        engine.start()
+        engine.kernel.run(until=5)
+        with pytest.raises(AssertionError, match="conservation"):
+            engine.result.check_conservation()
+
+    def test_duplicate_outcome_detected(self):
+        result = TrafficResult(issued=2)
+        req = Request(index=0, at=0, caller=0, seq=0)
+        result.outcomes = [
+            Outcome(request=req, status="ok", issued_at=0, finished_at=1),
+            Outcome(request=req, status="ok", issued_at=0, finished_at=1),
+        ]
+        with pytest.raises(AssertionError, match="duplicate"):
+            result.check_conservation()
+
+    def test_outcomes_independent_of_obs(self):
+        # Observation must not change what the engine measures: spans on
+        # vs off produce identical (status, latency) multisets.
+        def outcomes(spans):
+            kernel = Kernel(costs=FREE, spans=spans)
+            result = make_engine(kernel).run()
+            return sorted(
+                (o.request.index, o.status, o.latency) for o in result.outcomes
+            )
+
+        assert outcomes(False) == outcomes(True)
+
+
+class TestOfferedTrace:
+    def test_byte_identical_across_mechanisms(self, tmp_path):
+        # Satellite invariant: swapping the scheduling mechanism (here,
+        # arbitration policy + kernel seed) leaves the offered-load trace
+        # byte-for-byte identical.
+        path_a = tmp_path / "offered_a.jsonl"
+        path_b = tmp_path / "offered_b.jsonl"
+
+        kernel_a = Kernel(costs=FREE, seed=0, arbitration="ordered")
+        engine_a = make_engine(kernel_a)
+        engine_a.run()
+        engine_a.write_offered_trace(str(path_a))
+
+        kernel_b = Kernel(costs=FREE, seed=777, arbitration="random")
+        engine_b = make_engine(kernel_b)
+        engine_b.run()
+        engine_b.write_offered_trace(str(path_b))
+
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_differ_reports_equivalent(self, tmp_path, capsys):
+        # The PR 5 span differ sees the two offered traces as
+        # sequence-identical (exit 0).
+        path_a = tmp_path / "offered_a.jsonl"
+        path_b = tmp_path / "offered_b.jsonl"
+        make_engine(Kernel(costs=FREE, seed=0)).write_offered_trace(str(path_a))
+        make_engine(Kernel(costs=FREE, seed=99)).write_offered_trace(str(path_b))
+        assert obsdiff.main([str(path_a), str(path_b)]) == 0
+
+    def test_records_match_schedule(self):
+        engine = make_engine(Kernel(costs=FREE))
+        records = engine.offered_records()
+        assert len(records) == engine.count
+        for req, rec in zip(engine.schedule, records):
+            assert rec["start"] == rec["end"] == req.at
+            assert rec["process"] == f"vc{req.caller}"
+            assert rec["attrs"] == {"seq": req.seq, "index": req.index}
+
+
+class TestOutcomeStatuses:
+    def test_shed_and_ok_under_admission_control(self):
+        kernel = Kernel(costs=FREE)
+        buf = BoundedBuffer(kernel, size=4, work=6, queue_cap=4)
+
+        def build(req):
+            return buf.deposit(req.index) if req.index % 2 else buf.remove()
+
+        engine = TrafficEngine(
+            kernel, Uniform(1), 120, build, engines=2, clients=16, seed=7
+        )
+        result = engine.run()
+        counts = result.counts
+        assert counts["error"] == 0
+        assert counts["ok"] > 0
+        assert counts["shed"] > 0
+        assert kernel.stats.calls_shed == counts["shed"]
+
+    def test_request_exception_counts_as_error(self):
+        kernel = Kernel(costs=FREE)
+
+        def build(req):
+            raise RuntimeError("boom")
+
+        engine = TrafficEngine(kernel, Uniform(1), 5, build, engines=1, seed=0)
+        result = engine.run()
+        assert result.counts["error"] == 5

@@ -134,6 +134,14 @@ CATALOGUE: dict[str, Check] = {
             "An accept/await guard names an entry the manager does not "
             "intercept; the runtime would reject it.",
         ),
+        Check(
+            "ALP114",
+            "unbounded-retry-without-budget",
+            Severity.WARNING,
+            "A retry() loop is given a policy with max_attempts=None but "
+            "no budget=; under a persistent fault it re-offers the call "
+            "forever, and a fleet of such callers is a retry storm.",
+        ),
         # -- runtime-only codes (shared namespace, raised as
         #    ProtocolError(code=...) by repro.core) -------------------------
         Check(

@@ -625,6 +625,92 @@ class ManagerLinter:
                 )
 
 
+# -- module-level checks (not tied to one object's manager) -----------------
+
+#: Retry-policy constructors recognized by the ALP114 check.
+_POLICY_CTORS = {"FixedBackoff", "ExponentialBackoff"}
+
+
+def _is_none(node: ast.expr | None) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _retry_policy_arg(call: ast.Call) -> ast.expr | None:
+    """The policy argument of a ``retry(call_factory, policy, ...)`` site."""
+    for kw in call.keywords:
+        if kw.arg == "policy":
+            return kw.value
+    if len(call.args) >= 2:
+        return call.args[1]
+    return None
+
+
+def lint_retry_sites(tree: ast.Module, path: str = "<source>") -> list[Finding]:
+    """ALP114: ``retry()`` with an unbounded policy and no budget.
+
+    Flags call sites of ``retry`` whose policy is an *inline* policy
+    constructor with an explicit ``max_attempts=None`` and which pass no
+    (or a ``None``) ``budget=``.  Inline-only is the conservative
+    direction: a policy held in a variable may be bounded elsewhere, and
+    the linter fabricates no findings it cannot see locally.
+    """
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = (
+            node.func.attr
+            if isinstance(node.func, ast.Attribute)
+            else node.func.id
+            if isinstance(node.func, ast.Name)
+            else None
+        )
+        if name != "retry":
+            continue
+        policy = _retry_policy_arg(node)
+        if not isinstance(policy, ast.Call):
+            continue
+        ctor = (
+            policy.func.attr
+            if isinstance(policy.func, ast.Attribute)
+            else policy.func.id
+            if isinstance(policy.func, ast.Name)
+            else None
+        )
+        if ctor not in _POLICY_CTORS:
+            continue
+        unbounded = any(
+            kw.arg == "max_attempts" and _is_none(kw.value)
+            for kw in policy.keywords
+        )
+        if not unbounded:
+            continue
+        budget = next(
+            (kw.value for kw in node.keywords if kw.arg == "budget"), None
+        )
+        if budget is not None and not _is_none(budget):
+            continue
+        findings.append(
+            Finding(
+                code="ALP114",
+                message=(
+                    f"retry() with {ctor}(max_attempts=None) and no "
+                    f"budget: a persistent fault makes this caller "
+                    f"re-offer its call forever (retry storm)"
+                ),
+                path=path,
+                line=node.lineno,
+                col=node.col_offset,
+                suggestion=(
+                    "pass budget=shared_budget(kernel, caller, obj) so "
+                    "excess retries become immediate AdmissionErrors, or "
+                    f"bound the policy: {ctor}(..., max_attempts=N)"
+                ),
+            )
+        )
+    return findings
+
+
 # -- public API -------------------------------------------------------------
 
 
@@ -632,6 +718,7 @@ def lint_tree(tree: ast.Module, path: str = "<source>") -> list[Finding]:
     findings: list[Finding] = []
     for obj in extract_objects(tree, path=path):
         findings.extend(ManagerLinter(obj).run())
+    findings.extend(lint_retry_sites(tree, path=path))
     findings.sort(key=lambda f: (f.path, f.line, f.code))
     return findings
 

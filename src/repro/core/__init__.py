@@ -5,6 +5,9 @@ from .admission import (
     AWAIT_PRI,
     SHED_PRI,
     SHED_PRI_ALWAYS,
+    SWEEP_PRI,
+    DeadlineSweepGuard,
+    PredictedWaitGuard,
     ShedGuard,
     over_cap,
 )
@@ -55,11 +58,14 @@ __all__ = [
     "AwaitGuard",
     "WhenGuard",
     "ShedGuard",
+    "DeadlineSweepGuard",
+    "PredictedWaitGuard",
     "Start",
     "Finish",
     "Reject",
     "over_cap",
     "AWAIT_PRI",
+    "SWEEP_PRI",
     "SHED_PRI",
     "ACCEPT_PRI",
     "SHED_PRI_ALWAYS",

@@ -23,9 +23,20 @@ The conventional arm priorities (smallest wins):
 arm                     pri   rationale
 ======================  ====  =================================================
 ``await`` (in-flight)   0     finish admitted work first: it holds slots/workers
-shed (``#P > cap``)     1     under overload, drain the backlog at reject cost
-normal ``accept``       2     admit new work only when not saturated
+sweep (dead calls)      1     free slots held by expired calls at reject cost
+shed (``#P > cap``)     2     under overload, drain the backlog at reject cost
+normal ``accept``       3     admit new work only when not saturated
 ======================  ====  =================================================
+
+Two latency-aware arms extend the ladder (PR 7): a
+:class:`DeadlineSweepGuard` rendezvouses with calls that are already
+*dead* — their end-to-end deadline expired while queued, or their caller
+was already resumed by a per-hop timeout — so the slot frees at reject
+cost instead of wasting a manager body on a caller that is gone; a
+:class:`PredictedWaitGuard` sheds a deadlined call on arrival when the
+EWMA of the entry's service time times the queue depth already exceeds
+the call's remaining budget (serving it would only produce a
+late-and-discarded response).
 
 Managers whose normal accept arm carries a *callable* ``pri`` (SCAN,
 best-fit) use :data:`SHED_PRI_ALWAYS` for the shed arm instead — a priority
@@ -49,12 +60,14 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from ..kernel.waiting import Ready
 from .primitives import AcceptGuard
 
 #: Conventional arm priorities (see module docstring; smallest wins).
 AWAIT_PRI = 0
-SHED_PRI = 1
-ACCEPT_PRI = 2
+SWEEP_PRI = 1
+SHED_PRI = 2
+ACCEPT_PRI = 3
 
 #: Shed-arm priority that undercuts callable accept priorities (SCAN
 #: keys, best-fit negated amounts) — any value those expressions can
@@ -85,7 +98,14 @@ class ShedGuard(AcceptGuard):
     guard sheds in attachment order (oldest queued call first), which
     bounds the latency of the calls that *are* served: the backlog never
     silently ages.
+
+    ``reason`` is the machine-readable shed reason the manager forwards
+    to ``Reject(call, reason=guard.reason)``; subclasses override it so
+    the shed-reason metrics breakdown (``admission.shed.<reason>``) can
+    tell queue caps, deadline sweeps and predicted-wait sheds apart.
     """
+
+    reason = "queue-cap"
 
     def __init__(
         self,
@@ -99,3 +119,72 @@ class ShedGuard(AcceptGuard):
 
     def describe(self) -> str:
         return f"shed {self.runtime.spec.name} (#P > {self.cap})"
+
+
+class DeadlineSweepGuard(ShedGuard):
+    """Sweep arm: rendezvous with queued calls that are already dead.
+
+    Ready when an ATTACHED call's end-to-end deadline has expired — or
+    its caller was already resumed by a per-hop timeout or crash
+    detection — so serving it could not possibly help anyone.  The
+    manager yields ``Reject`` and the slot frees at reject cost; since
+    the caller is long gone, no error reaches it (``fail_caller`` is a
+    no-op after the first resume).  Sweeps in attachment order.
+
+    Runs at :data:`SWEEP_PRI`, between ``await`` and the queue-cap shed
+    arm: freeing a slot held by a corpse beats shedding a live call.
+    """
+
+    reason = "deadline-expired"
+
+    def __init__(self, obj: Any, proc_name: str, pri: Any = SWEEP_PRI) -> None:
+        AcceptGuard.__init__(self, obj, proc_name, when=None, pri=pri)
+        self.cap = None
+
+    def poll(self, kernel: Any) -> Ready | None:
+        now = kernel.clock.now
+        for call in self.runtime.acceptable(self.slot, None, all_matches=True):
+            if call.dead(now):
+                return Ready(call, token=call)
+        return None
+
+    def describe(self) -> str:
+        return f"sweep {self.runtime.spec.name} (deadline expired)"
+
+
+class PredictedWaitGuard(ShedGuard):
+    """Latency-aware shed arm: refuse calls that cannot make their deadline.
+
+    Ready for an ATTACHED, deadlined, still-live call when the entry's
+    predicted wait — the EWMA of observed body service times multiplied
+    by the current queue depth (``#P``) — already exceeds the call's
+    remaining budget.  Shedding it on arrival costs one reject; serving
+    it would cost a full body *and* still end in ``DeadlineExceeded``.
+
+    Until the first body completes there is no service-time estimate and
+    the guard stays quiet (never ready): admission decisions are only
+    made from measured evidence, so an idle object admits everything.
+    """
+
+    reason = "predicted-wait"
+
+    def __init__(self, obj: Any, proc_name: str, pri: Any = SHED_PRI) -> None:
+        AcceptGuard.__init__(self, obj, proc_name, when=None, pri=pri)
+        self.cap = None
+
+    def poll(self, kernel: Any) -> Ready | None:
+        runtime = self.runtime
+        ewma = runtime.service_ewma
+        if ewma is None:
+            return None
+        now = kernel.clock.now
+        predicted = ewma * runtime.pending_count()
+        for call in runtime.acceptable(self.slot, None, all_matches=True):
+            if call.deadline_at is None or call.caller_resumed:
+                continue
+            if predicted > call.deadline_at - now:
+                return Ready(call, token=call)
+        return None
+
+    def describe(self) -> str:
+        return f"shed {self.runtime.spec.name} (predicted wait > deadline)"

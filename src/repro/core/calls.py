@@ -70,6 +70,8 @@ class Call:
         "caller_resumed",
         "timeout",
         "timeout_cancel",
+        "deadline_at",
+        "deadline_cancel",
         "interrupted",
         "delivery_epoch",
         "span",
@@ -119,6 +121,12 @@ class Call:
         self.timeout: int | None = None
         #: Cancellation token of the armed timeout event, if any.
         self.timeout_cancel: dict | None = None
+        #: Absolute end-to-end deadline (§ deadline propagation): the
+        #: smaller of the caller's explicit ``deadline=`` and any budget
+        #: inherited from the process serving an enclosing call.
+        self.deadline_at: int | None = None
+        #: Cancellation token of the armed deadline event, if any.
+        self.deadline_cancel: dict | None = None
         #: Set by the fault injector when a node crash interrupted this
         #: call; a Supervisor may re-queue it (which clears the flag).
         self.interrupted = False
@@ -160,6 +168,28 @@ class Call:
                 f"before the body terminates"
             )
         return self.body_results[self.spec.returns :]
+
+    # -- deadlines ---------------------------------------------------------
+
+    def remaining_deadline(self, now: int) -> int | None:
+        """Ticks of end-to-end budget left at ``now`` (None = unbounded)."""
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - now
+
+    def deadline_expired(self, now: int) -> bool:
+        """True once the deadline tick has been reached (inclusive)."""
+        return self.deadline_at is not None and self.deadline_at <= now
+
+    def dead(self, now: int) -> bool:
+        """True when serving this call can no longer help its caller.
+
+        Either the caller was already resumed (per-hop timeout, crash
+        detection) or the end-to-end deadline has passed — in both cases
+        a body would run for nobody.  Sweep arms shed these at accept
+        time (see :class:`~repro.core.admission.DeadlineSweepGuard`).
+        """
+        return self.caller_resumed or self.deadline_expired(now)
 
     # -- metrics -----------------------------------------------------------
 

@@ -48,8 +48,13 @@ class BoundEntry:
         self.obj = obj
         self.name = name
 
-    def __call__(self, *args: Any, timeout: int | None = None) -> EntryCall:
-        return EntryCall(self.obj, self.name, args, timeout=timeout)
+    def __call__(
+        self,
+        *args: Any,
+        timeout: int | None = None,
+        deadline: int | None = None,
+    ) -> EntryCall:
+        return EntryCall(self.obj, self.name, args, timeout=timeout, deadline=deadline)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<entry {self.obj.alps_name}.{self.name}>"
@@ -311,9 +316,11 @@ class AlpsObject(metaclass=AlpsObjectMeta):
         """Packaged ``execute`` (§2.3); use as ``yield from self.execute(c)``."""
         return execute_call(call, *hidden)
 
-    def call(self, proc_name: str, *args: Any) -> EntryCall:
+    def call(
+        self, proc_name: str, *args: Any, deadline: int | None = None
+    ) -> EntryCall:
         """Invoke an entry or *local* procedure from inside the object."""
-        return EntryCall(self, proc_name, args, from_inside=True)
+        return EntryCall(self, proc_name, args, from_inside=True, deadline=deadline)
 
     # -- introspection ---------------------------------------------------------
 

@@ -155,6 +155,10 @@ class ServerPool:
         # Entry calls issued from inside the body (nested calls) parent
         # under this call's span; None whenever spans are disabled.
         proc.span = call.span
+        # Nested calls inherit the remaining end-to-end budget: a body
+        # serving a deadlined call cannot grant its callees more time
+        # than its own caller has left (deadline propagation).
+        proc.deadline_at = call.deadline_at
         call.body_process = proc
 
     def release(self, call: "Call") -> None:

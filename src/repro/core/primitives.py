@@ -17,7 +17,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
-from ..errors import AdmissionError, CallError, ProtocolError, RemoteCallError
+from ..errors import (
+    AdmissionError,
+    CallError,
+    DeadlineExceeded,
+    ProtocolError,
+    RemoteCallError,
+)
 from ..kernel.process import ProcessState
 from ..kernel.syscalls import Select, Syscall
 from ..kernel.waiting import Guard, Ready, Waitable
@@ -50,9 +56,18 @@ class EntryCall(Syscall):
     a :class:`~repro.errors.RemoteCallError` instead — the same anchored
     one-shot deadline semantics as :class:`~repro.kernel.timeouts.Timeout`
     — and any eventual response for the abandoned call is discarded.
+
+    ``deadline`` gives the call an *end-to-end* budget, distinct from the
+    per-hop ``timeout``: it is stored on the :class:`~repro.core.calls.Call`
+    as an absolute tick, inherited by every nested call the body issues
+    (the pool worker carries ``deadline_at``; a nested explicit deadline
+    can only shrink the budget, never extend it), and expires with
+    :class:`~repro.errors.DeadlineExceeded`.  A call whose deadline
+    passes while still queued is *dead*: sweep arms shed it at accept
+    time instead of wasting a body on it.
     """
 
-    __slots__ = ("obj", "proc_name", "args", "from_inside", "timeout")
+    __slots__ = ("obj", "proc_name", "args", "from_inside", "timeout", "deadline")
 
     def __init__(
         self,
@@ -61,12 +76,14 @@ class EntryCall(Syscall):
         args: tuple,
         from_inside: bool = False,
         timeout: int | None = None,
+        deadline: int | None = None,
     ) -> None:
         self.obj = obj
         self.proc_name = proc_name
         self.args = args
         self.from_inside = from_inside
         self.timeout = timeout
+        self.deadline = deadline
 
     def handle(self, kernel: "Kernel", proc: "Process", cost: int) -> None:
         try:
@@ -92,6 +109,11 @@ class EntryCall(Syscall):
                 proc, CallError(f"call timeout must be >= 0, got {self.timeout}")
             )
             return
+        if self.deadline is not None and self.deadline < 0:
+            kernel.schedule_throw(
+                proc, CallError(f"call deadline must be >= 0, got {self.deadline}")
+            )
+            return
 
         call = Call(self.obj, spec, tuple(self.args), proc)
         proc.state = ProcessState.BLOCKED
@@ -99,11 +121,29 @@ class EntryCall(Syscall):
         proc.waiting_for = ("call", call)
         # The caller-perceived issue instant — before any network delay.
         call.issued_at = kernel.clock.now
+        # Effective deadline: the smaller of the explicit budget and the
+        # budget inherited from the enclosing call this process serves.
+        now = kernel.clock.now
+        explicit = now + self.deadline if self.deadline is not None else None
+        inherited = getattr(proc, "deadline_at", None)
+        if explicit is not None and inherited is not None:
+            call.deadline_at = min(explicit, inherited)
+        else:
+            call.deadline_at = explicit if explicit is not None else inherited
         if kernel.obs.enabled:
             kernel.obs.call_issued(call, proc)
+            if call.span is not None and call.deadline_at is not None:
+                # Remaining end-to-end budget at issue time, for traces.
+                call.span.attrs["deadline_left"] = call.deadline_at - now
+        if call.deadline_at is not None and call.deadline_at <= now:
+            # Inherited budget already spent: fail at issue, deliver nothing.
+            _expire_deadline(kernel, call)
+            return
         if self.timeout is not None:
             call.timeout = self.timeout
             arm_call_timeout(kernel, call)
+        if call.deadline_at is not None:
+            arm_call_deadline(kernel, call)
 
         def deliver() -> None:
             if spec.intercepted:
@@ -153,8 +193,9 @@ def arm_call_timeout(kernel: "Kernel", call: Call) -> None:
         if call.caller_resumed:
             return
         call.caller_resumed = True
-        call.state = CallState.FAILED
         call.finished_at = kernel.clock.now
+        if call.deadline_cancel is not None:
+            call.deadline_cancel["cancelled"] = True
         if kernel.obs.enabled:
             kernel.obs.complete_call(call, status="timeout")
         kernel.trace.record(
@@ -165,6 +206,13 @@ def arm_call_timeout(kernel: "Kernel", call: Call) -> None:
             obj=call.obj.alps_name,
             after=call.timeout,
         )
+        # The protocol state is deliberately left alone: the caller is
+        # gone (``call.dead()``), but the object may still rendezvous
+        # with the corpse — a sweep arm frees the slot at reject cost, a
+        # plain accept arm serves it and discards the response
+        # (at-least-once).  Forcing FAILED here would wedge the slot and
+        # race the accept/start/reject window.  Wake sweeping managers.
+        _notify_if_queued(kernel, call)
         kernel.schedule_throw(
             call.caller,
             RemoteCallError(
@@ -176,6 +224,83 @@ def arm_call_timeout(kernel: "Kernel", call: Call) -> None:
         )
 
     kernel.post(deadline, expire, priority=call.caller.priority, cancel=cancel)
+
+
+def _notify_if_queued(kernel: "Kernel", call: Call) -> bool:
+    """Wake sweep arms on the call's entry if it is still queued.
+
+    Returns True when the call was PENDING/ATTACHED — i.e. an expiry
+    left a dead call in the queue for a
+    :class:`~repro.core.admission.DeadlineSweepGuard` to reach.
+    """
+    if call.state not in (CallState.PENDING, CallState.ATTACHED):
+        return False
+    try:
+        runtime = _runtime_of(call.obj, call.entry)
+    except ProtocolError:
+        return False
+    kernel.notify(runtime.arrival)
+    return True
+
+
+def arm_call_deadline(kernel: "Kernel", call: Call) -> None:
+    """Post the end-to-end deadline expiry event (cancelled at first resume)."""
+    assert call.deadline_at is not None
+    cancel = {"cancelled": False}
+    call.deadline_cancel = cancel
+    kernel.post(
+        call.deadline_at,
+        lambda: _expire_deadline(kernel, call),
+        priority=call.caller.priority,
+        cancel=cancel,
+    )
+
+
+def _expire_deadline(kernel: "Kernel", call: Call) -> None:
+    """Resume the caller with ``DeadlineExceeded``; leave the call swept-able.
+
+    Unlike a per-hop timeout this does *not* force the call to FAILED:
+    a queued call keeps its ATTACHED state (and its slot) so the normal
+    rendezvous machinery — ideally a
+    :class:`~repro.core.admission.DeadlineSweepGuard` arm — can still
+    reach it and free the slot at reject cost.  The arrival waitable is
+    notified so a sweeping manager wakes at the expiry tick.
+    """
+    if call.caller_resumed:
+        return
+    call.caller_resumed = True
+    call.finished_at = kernel.clock.now
+    if call.timeout_cancel is not None:
+        call.timeout_cancel["cancelled"] = True
+    if kernel.obs.enabled:
+        kernel.obs.complete_call(call, status="deadline")
+    kernel.metrics.counter(
+        "deadline.expired", "Calls whose end-to-end deadline expired",
+        legacy="deadlines_expired",
+    ).inc()
+    kernel.trace.record(
+        kernel.clock.now,
+        "deadline_exceeded",
+        call.caller.name,
+        entry=call.entry,
+        obj=call.obj.alps_name,
+        state=call.state.value,
+    )
+    if _notify_if_queued(kernel, call):
+        kernel.metrics.counter(
+            "deadline.expired_queued",
+            "Deadlines that expired while the call was still queued",
+        ).inc()
+    kernel.schedule_throw(
+        call.caller,
+        DeadlineExceeded(
+            f"call to {call.obj.alps_name}.{call.entry} exceeded its "
+            f"deadline (t={call.deadline_at})",
+            entry=call.entry,
+            obj=call.obj.alps_name,
+            deadline_at=call.deadline_at,
+        ),
+    )
 
 
 def _arity(spec: Any, got: int) -> CallError:
@@ -482,8 +607,25 @@ class Reject(Syscall):
             kernel.schedule_throw(proc, exc)
             return
         runtime = _runtime_of(call.obj, call.entry)
+        if call.caller_resumed:
+            # A sweep: the caller was already resumed (deadline expiry,
+            # per-hop timeout, crash detection) — this reject only frees
+            # the slot, so it is not counted as a shed response.
+            kernel.metrics.counter(
+                "admission.swept",
+                "Dead queued calls swept at accept time (slot freed, "
+                "no response owed)",
+            ).inc()
+            runtime.detach(call)
+            call.state = CallState.FAILED
+            kernel.schedule_resume(proc, None, cost=cost + kernel.costs.finish)
+            return
         call.finished_at = kernel.clock.now
         kernel.stats.calls_shed += 1
+        kernel.metrics.counter(
+            f"admission.shed.{self.reason}",
+            "Calls shed by admission control, by reason",
+        ).inc()
         runtime.detach(call)
         runtime.fail_caller(
             call,

@@ -23,6 +23,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from .pool import ServerPool
 
 
+#: Smoothing factor of the per-entry service-time EWMA read by
+#: :class:`~repro.core.admission.PredictedWaitGuard`.  Fixed (not
+#: configurable per call) so two same-seed runs predict identically.
+EWMA_ALPHA = 0.2
+
+
 class EntryRuntime:
     """Runtime state for one entry procedure of one object instance."""
 
@@ -44,6 +50,10 @@ class EntryRuntime:
         #: Completed calls, retained when the object records statistics.
         self.completed: list[Call] = []
         self.record_calls = False
+        #: EWMA of observed body service times (dispatch → body done), in
+        #: ticks; None until the first body completes.  Deterministic:
+        #: updated only from virtual timestamps, in completion order.
+        self.service_ewma: float | None = None
 
     # ------------------------------------------------------------------
     # Attachment (§2.5)
@@ -231,6 +241,7 @@ class EntryRuntime:
                 return
             call.body_results = results
             call.body_done_at = runtime.kernel.clock.now
+            runtime.observe_service(call)
             if managed:
                 call.state = CallState.BODY_DONE
                 runtime.kernel.notify(runtime.completion)
@@ -281,6 +292,8 @@ class EntryRuntime:
         call.caller_resumed = True
         if call.timeout_cancel is not None:
             call.timeout_cancel["cancelled"] = True
+        if call.deadline_cancel is not None:
+            call.deadline_cancel["cancelled"] = True
         value: Any
         if self.spec.returns == 0:
             value = None
@@ -317,9 +330,22 @@ class EntryRuntime:
         call.caller_resumed = True
         if call.timeout_cancel is not None:
             call.timeout_cancel["cancelled"] = True
+        if call.deadline_cancel is not None:
+            call.deadline_cancel["cancelled"] = True
         if self.kernel.obs.enabled:
             self.kernel.obs.complete_call(call, status=status)
         self.kernel.schedule_throw(call.caller, exc)
+
+    def observe_service(self, call: Call) -> None:
+        """Fold one completed body's service time into the EWMA."""
+        start = call.dispatched_at if call.dispatched_at is not None else call.started_at
+        if start is None or call.body_done_at is None:
+            return
+        sample = call.body_done_at - start
+        if self.service_ewma is None:
+            self.service_ewma = float(sample)
+        else:
+            self.service_ewma += EWMA_ALPHA * (sample - self.service_ewma)
 
     def record(self, call: Call) -> None:
         if self.record_calls:

@@ -158,3 +158,26 @@ class RemoteCallError(AlpsError):
         self.entry = entry
         #: ``alps_name`` of the target object, if known.
         self.obj = obj
+
+
+class DeadlineExceeded(RemoteCallError):
+    """The call's *end-to-end* deadline expired before a response arrived.
+
+    Distinct from a per-hop timeout (a plain :class:`RemoteCallError`
+    raised by ``timeout=``): a timeout says "this attempt took too long,
+    try again"; a deadline says "the whole request is out of time" — the
+    budget is shared by every nested call and every retry, so when it is
+    gone, retrying cannot help.  :func:`repro.faults.retry` therefore
+    re-raises it immediately instead of consuming attempts.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        entry: str | None = None,
+        obj: str | None = None,
+        deadline_at: int | None = None,
+    ) -> None:
+        super().__init__(message, entry=entry, obj=obj)
+        #: Absolute virtual tick the deadline expired at, if known.
+        self.deadline_at = deadline_at

@@ -10,9 +10,11 @@ Three layers over the ALPS substrate:
   entry calls (``yield obj.p(args, timeout=n)``) bound any single call;
   :class:`Heartbeat`/:class:`Beacon` give application-level liveness;
 * **recovery** — :func:`retry` with :class:`FixedBackoff` /
-  :class:`ExponentialBackoff` policies, and (in ``repro.stdlib``) the
-  ``Supervisor`` object that restarts crashed objects and re-queues
-  interrupted calls.
+  :class:`ExponentialBackoff` policies, bounded in aggregate by
+  :class:`RetryBudget` (token bucket shared per caller/object pair, see
+  :func:`shared_budget`) and :class:`CircuitBreaker` (deterministic
+  closed/open/half-open), and (in ``repro.stdlib``) the ``Supervisor``
+  object that restarts crashed objects and re-queues interrupted calls.
 
 Same seed + same plan ⇒ same faults at the same ticks ⇒ the same
 interleaving — fault scenarios are as replayable as fault-free runs.
@@ -27,7 +29,15 @@ from .plan import (
     PartitionFault,
     SlowCpu,
 )
-from .retry import ExponentialBackoff, FixedBackoff, RetryPolicy, retry
+from .retry import (
+    CircuitBreaker,
+    ExponentialBackoff,
+    FixedBackoff,
+    RetryBudget,
+    RetryPolicy,
+    retry,
+    shared_budget,
+)
 from .runtime import FaultEventGuard, FaultRuntime, install
 
 __all__ = [
@@ -44,6 +54,9 @@ __all__ = [
     "RetryPolicy",
     "FixedBackoff",
     "ExponentialBackoff",
+    "RetryBudget",
+    "CircuitBreaker",
+    "shared_budget",
     "Beacon",
     "Heartbeat",
     "HeartbeatEventGuard",

@@ -463,6 +463,8 @@ class FaultRuntime:
         call.finished_at = self.kernel.clock.now
         if call.timeout_cancel is not None:
             call.timeout_cancel["cancelled"] = True
+        if call.deadline_cancel is not None:
+            call.deadline_cancel["cancelled"] = True
         self.c_failed_calls.inc()
         if self.kernel.obs.enabled:
             self.kernel.obs.complete_call(call, status="failed")

@@ -74,6 +74,7 @@ class Process:
         "epoch",
         "node",
         "span",
+        "deadline_at",
     )
 
     def __init__(
@@ -131,6 +132,10 @@ class Process:
         #: parent under it (set by the pool for body processes and by the
         #: replication daemons; always None while spans are disabled).
         self.span = None
+        #: Absolute end-to-end deadline this process operates under, if
+        #: any: entry calls it issues inherit the remaining budget (set
+        #: by the pool for body processes serving a deadlined call).
+        self.deadline_at: int | None = None
 
     # -- scheduling hooks (used by the scheduler only) ------------------
 

@@ -487,6 +487,130 @@ def parse_folded(lines: Iterable[str]) -> dict[tuple[str, ...], int]:
 
 
 # ----------------------------------------------------------------------
+# SVG flame graph (icicle) rendering
+# ----------------------------------------------------------------------
+
+_ROW_HEIGHT = 18       #: pixel height of one stack depth
+_MIN_LABEL_PX = 40     #: rects narrower than this get a tooltip only
+_CHAR_PX = 6.5         #: rough monospace advance used to truncate labels
+
+
+def _svg_escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _frame_color(frame: str) -> str:
+    """Deterministic warm-palette fill for a frame name.
+
+    Pure function of the name (CRC32-seeded), so the same frame gets the
+    same color in every rendering and across recordings — diffs of two
+    flame graphs line up visually.
+    """
+    import zlib
+
+    h = zlib.crc32(frame.encode("utf-8"))
+    r = 205 + (h & 0xFF) % 50
+    g = 80 + ((h >> 8) & 0xFF) % 110
+    b = ((h >> 16) & 0xFF) % 55
+    return f"rgb({r},{g},{b})"
+
+
+class _IcicleNode:
+    """One merged frame of the icicle: self ticks plus children."""
+
+    __slots__ = ("frame", "self_ticks", "children")
+
+    def __init__(self, frame: str) -> None:
+        self.frame = frame
+        self.self_ticks = 0
+        self.children: dict[str, _IcicleNode] = {}
+
+    def total(self) -> int:
+        return self.self_ticks + sum(c.total() for c in self.children.values())
+
+
+def _build_icicle(folded: dict[tuple[str, ...], int]) -> _IcicleNode:
+    root = _IcicleNode("all")
+    for path, ticks in folded.items():
+        node = root
+        for frame in path:
+            child = node.children.get(frame)
+            if child is None:
+                child = node.children[frame] = _IcicleNode(frame)
+            node = child
+        node.self_ticks += ticks
+    return root
+
+
+def render_svg(
+    folded: dict[tuple[str, ...], int],
+    title: str = "flame graph",
+    width: int = 1200,
+) -> str:
+    """Render folded stacks as a self-contained icicle-layout SVG.
+
+    Root at the top, children below, rect width proportional to the
+    subtree's total ticks — the standard flame-graph geometry, emitted
+    with no dependency beyond the SVG itself.  Rendering is fully
+    deterministic: children are laid out in sorted frame order and
+    colors are a pure hash of the frame name, so the same recording
+    always produces byte-identical SVG.  Every rect carries a
+    ``<title>`` tooltip with the frame, its ticks, and its percentage
+    of the total, including rects too narrow for an inline label.
+    """
+    if width < 100:
+        raise ValueError(f"svg width must be >= 100, got {width}")
+    root = _build_icicle(folded)
+    total = root.total()
+    scale = width / total if total else 0.0
+
+    def depth_of(node: _IcicleNode) -> int:
+        if not node.children:
+            return 1
+        return 1 + max(depth_of(c) for c in node.children.values())
+
+    rows = depth_of(root)
+    height = rows * _ROW_HEIGHT + 24
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="monospace" font-size="11">',
+        f'<text x="4" y="14">{_svg_escape(title)} '
+        f"&#8212; {total} ticks</text>",
+    ]
+
+    def emit(node: _IcicleNode, x: float, depth: int) -> None:
+        node_total = node.total()
+        w = node_total * scale
+        y = 24 + (depth * _ROW_HEIGHT)
+        pct = 100.0 * node_total / total if total else 0.0
+        tip = _svg_escape(f"{node.frame}: {node_total} ticks ({pct:.1f}%)")
+        parts.append(
+            f'<g><rect x="{x:.2f}" y="{y}" width="{max(w, 0.5):.2f}" '
+            f'height="{_ROW_HEIGHT - 1}" fill="{_frame_color(node.frame)}" '
+            f'rx="1"><title>{tip}</title></rect>'
+        )
+        if w >= _MIN_LABEL_PX:
+            label = _svg_escape(node.frame[: max(1, int(w / _CHAR_PX))])
+            parts.append(
+                f'<text x="{x + 3:.2f}" y="{y + 13}">{label}</text>'
+            )
+        parts.append("</g>")
+        child_x = x
+        for frame in sorted(node.children):
+            child = node.children[frame]
+            emit(child, child_x, depth + 1)
+            child_x += child.total() * scale
+
+    emit(root, 0.0, 0)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
 # Replication classification (sequencer apply vs forward)
 # ----------------------------------------------------------------------
 
@@ -680,6 +804,11 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the recording as flame-graph folded stacks "
              "(flamegraph.pl / speedscope input); '-' for stdout",
     )
+    parser.add_argument(
+        "--svg", metavar="FILE",
+        help="also render the recording as a self-contained icicle SVG "
+             "flame graph; '-' for stdout",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -696,6 +825,19 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         with open(args.folded, "w", encoding="utf-8") as fh:
             fh.write("\n".join(folded) + ("\n" if folded else ""))
+
+    if args.svg:
+        import os
+
+        svg = render_svg(
+            parse_folded(folded_stacks(rec)),
+            title=os.path.basename(args.trace),
+        )
+        if args.svg == "-":
+            print(svg)
+            return 0
+        with open(args.svg, "w", encoding="utf-8") as fh:
+            fh.write(svg + "\n")
 
     if args.as_json:
         text = json.dumps(report_json(rec, top=args.top), indent=2,

@@ -101,6 +101,20 @@ TRACKED: dict[str, Experiment] = {
          # object, so any move off zero fails the gate.
          Metric("error", higher_is_better=False, tolerance=0.0)],
     ),
+    "E15": Experiment(
+        ("config", "mean_gap"),
+        # goodput_per_ktick exists on the calm knee-sweep rows only,
+        # post_goodput on the crash-and-heal rows only; flatten() skips
+        # the absent combinations.
+        [Metric("goodput_per_ktick", higher_is_better=True, tolerance=0.05),
+         Metric("post_goodput", higher_is_better=True, tolerance=0.05),
+         # Robustness hard floors: a lost acknowledged write or a broken
+         # attempts-conservation check is a correctness bug, so any move
+         # off zero fails regardless of tolerance.
+         Metric("lost_acked", higher_is_better=False, tolerance=0.0),
+         Metric("conservation_violations", higher_is_better=False, tolerance=0.0),
+         Metric("error", higher_is_better=False, tolerance=0.0)],
+    ),
 }
 
 

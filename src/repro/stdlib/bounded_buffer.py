@@ -23,6 +23,8 @@ from ..core import (
     SHED_PRI,
     AcceptGuard,
     AlpsObject,
+    DeadlineSweepGuard,
+    PredictedWaitGuard,
     Reject,
     ShedGuard,
     entry,
@@ -84,6 +86,12 @@ class BoundedBuffer(AlpsObject):
                 # arms outrank the service arms, so the backlog drains at
                 # reject cost instead of growing without bound.
                 guards = [
+                    # Sweep dead calls and shed doomed deadlined calls
+                    # before the plain queue cap; all outrank admission.
+                    DeadlineSweepGuard(self, "deposit"),
+                    DeadlineSweepGuard(self, "remove"),
+                    PredictedWaitGuard(self, "deposit"),
+                    PredictedWaitGuard(self, "remove"),
                     ShedGuard(self, "deposit", cap=cap, pri=SHED_PRI),
                     ShedGuard(self, "remove", cap=cap, pri=SHED_PRI),
                     AcceptGuard(self, "deposit", when=lambda: count < self.size,
@@ -94,7 +102,7 @@ class BoundedBuffer(AlpsObject):
             result = yield Select(*guards)
             call = result.value
             if isinstance(result.guard, ShedGuard):
-                yield Reject(call)
+                yield Reject(call, reason=result.guard.reason)
                 continue
             # execute = start; await; finish — the manager "waits until
             # the procedure terminates before accepting another call".

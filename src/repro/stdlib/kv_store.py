@@ -24,7 +24,9 @@ from ..core import (
     AcceptGuard,
     AlpsObject,
     AwaitGuard,
+    DeadlineSweepGuard,
     Finish,
+    PredictedWaitGuard,
     Reject,
     ShedGuard,
     Start,
@@ -153,6 +155,11 @@ class GatedKVStore(AlpsObject):
                 guards += [AcceptGuard(self, op) for op in self.OPS]
             else:
                 guards = [AwaitGuard(self, op, pri=AWAIT_PRI) for op in self.OPS]
+                # Latency-aware arms: sweep dead queued calls, then shed
+                # deadlined calls that cannot be served in time, then the
+                # plain queue cap — all before admitting new work.
+                guards += [DeadlineSweepGuard(self, op) for op in self.OPS]
+                guards += [PredictedWaitGuard(self, op) for op in self.OPS]
                 guards += [
                     ShedGuard(self, op, cap=cap, pri=SHED_PRI) for op in self.OPS
                 ]
@@ -160,7 +167,7 @@ class GatedKVStore(AlpsObject):
             result = yield Select(*guards)
             call = result.value
             if isinstance(result.guard, ShedGuard):
-                yield Reject(call)
+                yield Reject(call, reason=result.guard.reason)
             elif isinstance(result.guard, AcceptGuard):
                 # Async start: bodies overlap, the manager only gates.
                 yield Start(call)

@@ -20,7 +20,9 @@ from ..core import (
     AcceptGuard,
     AlpsObject,
     AwaitGuard,
+    DeadlineSweepGuard,
     Finish,
+    PredictedWaitGuard,
     Reject,
     ShedGuard,
     Start,
@@ -99,6 +101,8 @@ class Spooler(AlpsObject):
                 # before admitting; shed before admitting under overload.
                 guards = [
                     AwaitGuard(self, "print_file", pri=AWAIT_PRI),
+                    DeadlineSweepGuard(self, "print_file"),
+                    PredictedWaitGuard(self, "print_file"),
                     ShedGuard(self, "print_file", cap=cap, pri=SHED_PRI),
                     AcceptGuard(self, "print_file", when=lambda: bool(free),
                                 pri=ACCEPT_PRI),
@@ -106,7 +110,7 @@ class Spooler(AlpsObject):
             result = yield Select(*guards)
             call = result.value
             if isinstance(result.guard, ShedGuard):
-                yield Reject(call)
+                yield Reject(call, reason=result.guard.reason)
             elif isinstance(result.guard, AcceptGuard):
                 number = free.pop(0)
                 # start Print[i](file, printer) — hidden parameter.

@@ -2,7 +2,7 @@
 
 from .engine import Outcome, Request, TrafficEngine, TrafficResult
 from .generators import ArrivalProcess, Bursty, Poisson, Uniform, closed_loop, open_loop
-from .slo import SloReport, find_knee, percentile, summarize
+from .slo import SloReport, find_knee, goodput_timeline, percentile, summarize
 from .traces import TraceEntry, mixed_trace, replay
 from .zipf import Zipf, word_corpus
 
@@ -26,4 +26,5 @@ __all__ = [
     "summarize",
     "percentile",
     "find_knee",
+    "goodput_timeline",
 ]

@@ -37,6 +37,15 @@ status     meaning
 ``error``  any other exception (a bug in the driven object — the SLO
            harness treats a nonzero count as a failed run)
 ========== ===========================================================
+
+Requests may take several *attempts* when the engine is configured with a
+``retry_policy``: the conservation identity then extends to a second
+dimension, ``attempts == Σ (1 + retries)`` over every non-dropped
+outcome, so a retry storm cannot hide inside the accounting — every wire
+attempt is attributed to exactly one terminal outcome.  A ``deadline``
+gives every request an end-to-end budget anchored at its *scheduled*
+arrival (``req.at + deadline``), inherited by every attempt, so retries
+share one budget instead of each re-arming a fresh one.
 """
 
 from __future__ import annotations
@@ -47,7 +56,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
 from ..errors import AdmissionError, RemoteCallError
-from ..kernel.syscalls import Delay, Now, Spawn
+from ..faults.retry import CircuitBreaker, RetryBudget, RetryPolicy, retry
+from ..kernel.syscalls import Delay, Now, Self, Spawn
 from .generators import ArrivalProcess
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -76,6 +86,7 @@ class Outcome:
     issued_at: int
     finished_at: int
     value: Any = None
+    retries: int = 0  #: wire re-attempts beyond the first (0 without retry)
 
     @property
     def latency(self) -> int:
@@ -93,6 +104,9 @@ class TrafficResult:
 
     issued: int
     outcomes: list[Outcome] = field(default_factory=list)
+    #: Total wire attempts issued, or ``None`` when attempts were not
+    #: tracked (hand-built results).  The engine always tracks them.
+    attempts: int | None = None
 
     @property
     def counts(self) -> dict[str, int]:
@@ -109,6 +123,12 @@ class TrafficResult:
 
         Raises :class:`AssertionError` naming the imbalance otherwise —
         a request the engine lost track of is a harness bug, not noise.
+
+        When attempts were tracked (``attempts`` is not ``None``), the
+        identity extends to the retry dimension: every wire attempt must
+        be attributed to exactly one terminal outcome, i.e.
+        ``attempts == Σ (1 + retries)`` over non-dropped outcomes
+        (dropped requests never reached the wire).
         """
         counts = self.counts
         total = sum(counts.values())
@@ -120,6 +140,15 @@ class TrafficResult:
         seen = {o.request.index for o in self.outcomes}
         if len(seen) != len(self.outcomes):
             raise AssertionError("conservation violated: duplicate outcomes")
+        if self.attempts is not None:
+            expected = sum(
+                1 + o.retries for o in self.outcomes if o.status != "dropped"
+            )
+            if self.attempts != expected:
+                raise AssertionError(
+                    f"conservation violated: {self.attempts} wire attempts != "
+                    f"{expected} attributed to terminal outcomes"
+                )
 
 
 class TrafficEngine:
@@ -152,6 +181,24 @@ class TrafficEngine:
         Engine-private RNG seed for the caller-ID draw.  Deliberately
         string-mixed with the engine name so it can never collide with
         the kernel's integer arbitration seed.
+    deadline:
+        Optional end-to-end budget (ticks) per request, anchored at the
+        *scheduled* arrival: each client sets ``req.at + deadline`` on
+        its process before issuing, so every nested call and every retry
+        attempt inherits the same absolute deadline.
+    retry_policy:
+        Optional :class:`~repro.faults.RetryPolicy`: failed attempts are
+        re-issued via :func:`~repro.faults.retry` with a per-request seed
+        derived from the engine name, seed, and request index (fully
+        deterministic, decorrelated across requests).  Requires
+        ``request`` to build :class:`~repro.core.EntryCall`\\ s (not raw
+        generators).
+    retry_budget:
+        Optional :class:`~repro.faults.RetryBudget` shared across all
+        this engine's clients: when dry, retries surface as ``shed``.
+    breaker:
+        Optional :class:`~repro.faults.CircuitBreaker` consulted before
+        every attempt; while open, requests surface as ``shed``.
     """
 
     def __init__(
@@ -166,6 +213,10 @@ class TrafficEngine:
         clients: int = 64,
         seed: int = 0,
         name: str = "traffic",
+        deadline: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        retry_budget: RetryBudget | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
@@ -175,6 +226,8 @@ class TrafficEngine:
             raise ValueError(f"engines must be >= 1, got {engines}")
         if clients < 1:
             raise ValueError(f"clients must be >= 1, got {clients}")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {deadline}")
         self.kernel = kernel
         self.process = process
         self.count = count
@@ -184,9 +237,13 @@ class TrafficEngine:
         self.clients = clients
         self.seed = seed
         self.name = name
+        self.deadline = deadline
+        self.retry_policy = retry_policy
+        self.retry_budget = retry_budget
+        self.breaker = breaker
         #: The full request schedule, fixed before the kernel runs.
         self.schedule: list[Request] = self._build_schedule()
-        self.result = TrafficResult(issued=count)
+        self.result = TrafficResult(issued=count, attempts=0)
 
     # -- schedule construction (pure, kernel-independent) -----------------
 
@@ -288,12 +345,34 @@ class TrafficEngine:
         issued_at = self.kernel.clock.now
         status = "ok"
         value = None
+        attempts = [0]
+
+        def build():
+            attempts[0] += 1
+            self.result.attempts += 1
+            return self.request(req)
+
         try:
-            built = self.request(req)
-            if hasattr(built, "send") and hasattr(built, "throw"):
-                value = yield from built
+            if self.deadline is not None:
+                # Anchor the end-to-end budget at the *scheduled* arrival:
+                # a saturated engine issuing late cannot stretch it, and
+                # every nested call / retry attempt inherits it.
+                proc = yield Self()
+                proc.deadline_at = req.at + self.deadline
+            if self.retry_policy is not None:
+                value = yield from retry(
+                    build,
+                    self.retry_policy,
+                    seed=f"{self.name}:{self.seed}:retry:{req.index}",
+                    budget=self.retry_budget,
+                    breaker=self.breaker,
+                )
             else:
-                value = yield built
+                built = build()
+                if hasattr(built, "send") and hasattr(built, "throw"):
+                    value = yield from built
+                else:
+                    value = yield built
         except AdmissionError:
             status = "shed"
         except RemoteCallError:
@@ -312,5 +391,6 @@ class TrafficEngine:
                 issued_at=issued_at,
                 finished_at=self.kernel.clock.now,
                 value=value,
+                retries=max(0, attempts[0] - 1),
             )
         )

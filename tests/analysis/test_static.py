@@ -368,3 +368,81 @@ class TestRuntimeCodeAlignment:
         with pytest.raises(ProtocolError) as excinfo:
             kernel.run()
         assert excinfo.value.code == "ALP201"
+
+
+class TestUnboundedRetry:
+    """ALP114: retry() with max_attempts=None and no budget."""
+
+    RETRY_PREAMBLE = "from repro.faults import FixedBackoff, retry\n"
+
+    def lint_retry(self, src):
+        return lint_source(self.RETRY_PREAMBLE + textwrap.dedent(src))
+
+    def test_unbounded_retry_without_budget_flagged(self):
+        findings = self.lint_retry(
+            """
+            def run(build):
+                yield from retry(build, FixedBackoff(delay=5, max_attempts=None))
+            """
+        )
+        assert codes(findings) == {"ALP114"}
+        (finding,) = findings
+        assert finding.severity is Severity.WARNING
+        assert "budget" in finding.suggestion
+
+    def test_budget_none_still_flagged(self):
+        findings = self.lint_retry(
+            """
+            def run(build):
+                yield from retry(
+                    build, FixedBackoff(delay=5, max_attempts=None), budget=None
+                )
+            """
+        )
+        assert codes(findings) == {"ALP114"}
+
+    def test_policy_keyword_form_flagged(self):
+        findings = self.lint_retry(
+            """
+            def run(build):
+                yield from retry(
+                    build, policy=FixedBackoff(delay=5, max_attempts=None)
+                )
+            """
+        )
+        assert codes(findings) == {"ALP114"}
+
+    def test_budgeted_retry_clean(self):
+        findings = self.lint_retry(
+            """
+            def run(build, budget):
+                yield from retry(
+                    build,
+                    FixedBackoff(delay=5, max_attempts=None),
+                    budget=budget,
+                )
+            """
+        )
+        assert findings == []
+
+    def test_bounded_policy_clean(self):
+        findings = self.lint_retry(
+            """
+            def run(build):
+                yield from retry(build, FixedBackoff(delay=5, max_attempts=3))
+            """
+        )
+        assert findings == []
+
+    def test_variable_held_policy_stays_silent(self):
+        # Conservative direction: a policy bound elsewhere may be safe;
+        # the linter only judges what it can see inline.
+        findings = self.lint_retry(
+            """
+            POLICY = FixedBackoff(delay=5, max_attempts=None)
+
+            def run(build):
+                yield from retry(build, POLICY)
+            """
+        )
+        assert findings == []

@@ -1,0 +1,13 @@
+# expect: ALP114
+# An unbounded policy with no budget: under a persistent fault this
+# caller re-offers its call forever, and a fleet of them is a retry
+# storm that outlives the fault (E15 measures the collapse).
+from repro.faults import FixedBackoff, retry
+
+
+def fetch_forever(kernel, store, key):
+    def build():
+        return store.get(key, timeout=50)
+
+    value = yield from retry(build, FixedBackoff(delay=20, max_attempts=None))
+    return value

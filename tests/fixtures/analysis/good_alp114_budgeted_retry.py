@@ -1,0 +1,26 @@
+# Unbounded zeal is fine when a shared budget bounds the aggregate:
+# once the bucket is dry the next retry is an immediate AdmissionError
+# instead of another wire attempt.  Clean.
+from repro.faults import ExponentialBackoff, FixedBackoff, retry, shared_budget
+
+
+def fetch_with_budget(kernel, store, key):
+    def build():
+        return store.get(key, timeout=50)
+
+    budget = shared_budget(kernel, "reader", store)
+    value = yield from retry(
+        build,
+        ExponentialBackoff(base=2, max_delay=200, max_attempts=None),
+        budget=budget,
+    )
+    return value
+
+
+def fetch_bounded(kernel, store, key):
+    def build():
+        return store.get(key, timeout=50)
+
+    # A finite attempt bound needs no budget to be storm-safe.
+    value = yield from retry(build, FixedBackoff(delay=20, max_attempts=3))
+    return value

@@ -117,3 +117,77 @@ class TestFoldedCli:
         out = capsys.readouterr().out
         folded = parse_folded(out.splitlines())
         assert folded
+
+
+class TestSvgFlameGraph:
+    def folded(self):
+        from repro.obs.analyze import folded_stacks
+
+        return __import__("repro.obs.analyze", fromlist=["parse_folded"]).parse_folded(
+            folded_stacks(recording())
+        )
+
+    def test_renders_well_formed_svg(self):
+        import xml.etree.ElementTree as ET
+
+        from repro.obs.analyze import render_svg
+
+        svg = render_svg(self.folded(), title="test")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+        assert rects  # one per icicle frame (plus the synthetic root)
+
+    def test_rendering_is_deterministic(self):
+        from repro.obs.analyze import render_svg
+
+        folded = self.folded()
+        assert render_svg(folded) == render_svg(folded)
+
+    def test_root_reports_exact_total(self):
+        # The synthetic root's tooltip carries the sum of all self
+        # times — the same exactness contract as the folded export.
+        from repro.obs.analyze import render_svg
+
+        folded = self.folded()
+        svg = render_svg(folded)
+        assert f"all: {sum(folded.values())} ticks (100.0%)" in svg
+
+    def test_frame_names_are_escaped(self):
+        import xml.etree.ElementTree as ET
+
+        from repro.obs.analyze import render_svg
+
+        svg = render_svg({("<p>", "call:a&b"): 7})
+        ET.fromstring(svg)  # parses despite markup-hostile frame names
+        assert "&lt;p&gt;" in svg and "a&amp;b" in svg
+
+    def test_zero_total_recording_renders(self):
+        import xml.etree.ElementTree as ET
+
+        from repro.obs.analyze import render_svg
+
+        svg = render_svg({("p", "call:o.e"): 0})
+        ET.fromstring(svg)
+        assert "0 ticks" in svg
+
+    def test_width_validation(self):
+        import pytest
+
+        from repro.obs.analyze import render_svg
+
+        with pytest.raises(ValueError, match="width"):
+            render_svg({}, width=10)
+
+    def test_cli_writes_svg_file(self, tmp_path, capsys):
+        trace = TestFoldedCli().write_trace(tmp_path)
+        out = tmp_path / "flame.svg"
+        assert main([str(trace), "--svg", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("<svg ") and text.rstrip().endswith("</svg>")
+
+    def test_cli_svg_to_stdout(self, tmp_path, capsys):
+        trace = TestFoldedCli().write_trace(tmp_path)
+        assert main([str(trace), "--svg", "-"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("<svg ")

@@ -222,3 +222,141 @@ class TestOutcomeStatuses:
         engine = TrafficEngine(kernel, Uniform(1), 5, build, engines=1, seed=0)
         result = engine.run()
         assert result.counts["error"] == 5
+
+
+class TestRetryAndDeadline:
+    def test_attempts_tracked_without_retry(self):
+        # Even with no retry policy, every non-dropped request is one
+        # wire attempt; dropped requests never reach the wire.
+        engine = make_engine(Kernel(costs=FREE), count=80, gap=1, clients=1)
+        result = engine.run()
+        assert result.counts["dropped"] > 0
+        assert result.attempts == result.issued - result.counts["dropped"]
+
+    def test_attempts_conservation_failing_case(self):
+        # Tampering with the attempt count by one must be caught: a wire
+        # attempt not attributed to a terminal outcome is a harness bug.
+        engine = make_engine(Kernel(costs=FREE), count=20)
+        result = engine.run()
+        result.attempts += 1
+        with pytest.raises(AssertionError, match="wire attempts"):
+            result.check_conservation()
+
+    def test_hand_built_results_skip_attempts_check(self):
+        # TrafficResult built by hand (attempts=None) still passes the
+        # classic identity — the retry dimension is opt-in.
+        result = TrafficResult(issued=1)
+        result.outcomes = [
+            Outcome(
+                request=Request(index=0, at=0, caller=0, seq=0),
+                status="ok",
+                issued_at=0,
+                finished_at=1,
+            )
+        ]
+        result.check_conservation()
+
+    def retry_engine(self, kernel, *, count=12, deadline=None, budget=None,
+                     breaker=None, policy=None):
+        from repro.faults import FixedBackoff
+
+        # read_work=10 against timeout=5: every attempt times out, so the
+        # retry machinery is exercised deterministically with no faults.
+        kv = GatedKVStore(kernel, read_work=10, request_max=8)
+
+        def build(req):
+            return kv.get(f"k{req.caller % 4}", timeout=5)
+
+        return TrafficEngine(
+            kernel,
+            Uniform(40),
+            count,
+            build,
+            engines=2,
+            clients=16,
+            seed=3,
+            deadline=deadline,
+            retry_policy=policy or FixedBackoff(delay=10, max_attempts=3),
+            retry_budget=budget,
+            breaker=breaker,
+        )
+
+    def test_retry_attempts_sum_into_outcomes(self):
+        kernel = Kernel(costs=FREE)
+        engine = self.retry_engine(kernel, count=8)
+        result = engine.run()
+        assert result.counts["timeout"] == 8
+        assert all(o.retries == 2 for o in result.outcomes)  # 3 attempts
+        assert result.attempts == 24
+        result.check_conservation()
+
+    def test_retry_schedule_is_deterministic(self):
+        def run():
+            engine = self.retry_engine(Kernel(costs=FREE), count=8)
+            result = engine.run()
+            return sorted(
+                (o.request.index, o.status, o.retries, o.finished_at)
+                for o in result.outcomes
+            )
+
+        assert run() == run()
+
+    def test_budget_converts_retries_into_sheds(self):
+        from repro.faults import RetryBudget
+
+        kernel = Kernel(costs=FREE)
+        budget = RetryBudget(capacity=3.0, fill_ratio=0.01)
+        engine = self.retry_engine(kernel, count=10, budget=budget)
+        result = engine.run()
+        # Three retries fit the budget; every later re-attempt surfaces
+        # as shed (AdmissionError reason=retry-budget), and the attempt
+        # ledger still balances.
+        assert budget.withdrawals == 3
+        assert result.counts["shed"] > 0
+        assert result.counts["shed"] + result.counts["timeout"] == 10
+        result.check_conservation()
+
+    def test_breaker_converts_failures_into_sheds(self):
+        from repro.faults import CircuitBreaker
+
+        kernel = Kernel(costs=FREE)
+        breaker = CircuitBreaker(
+            kernel, window=10**6, min_calls=4, failure_threshold=0.5,
+            cooldown=10**9,
+        )
+        engine = self.retry_engine(kernel, count=10, breaker=breaker)
+        result = engine.run()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert result.counts["shed"] > 0
+        assert kernel.metrics.value("breaker.refused") > 0
+        result.check_conservation()
+
+    def test_deadline_bounds_every_attempt(self):
+        # The deadline is anchored at the scheduled arrival; with
+        # deadline < one backoff the retry loop is cut short by
+        # DeadlineExceeded (terminal), not by attempt exhaustion.
+        kernel = Kernel(costs=FREE)
+        engine = self.retry_engine(kernel, count=8, deadline=12)
+        result = engine.run()
+        assert result.counts["timeout"] == 8
+        assert all(o.retries <= 1 for o in result.outcomes)
+        assert kernel.metrics.value("deadline.expired") > 0
+        result.check_conservation()
+
+    def test_deadline_outcomes_match_obs_off(self):
+        # Deadline + retry machinery stays observation-neutral.
+        def outcomes(spans):
+            kernel = Kernel(costs=FREE, spans=spans)
+            engine = self.retry_engine(kernel, count=8, deadline=12)
+            result = engine.run()
+            return sorted(
+                (o.request.index, o.status, o.retries, o.latency)
+                for o in result.outcomes
+            )
+
+        assert outcomes(False) == outcomes(True)
+
+    def test_deadline_validation(self):
+        kernel = Kernel(costs=FREE)
+        with pytest.raises(ValueError, match="deadline"):
+            TrafficEngine(kernel, Uniform(1), 1, lambda r: None, deadline=0)

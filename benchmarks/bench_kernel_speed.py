@@ -1,0 +1,97 @@
+"""ESPEED: raw kernel speed — simulated events per wall-clock second.
+
+Every other benchmark in this directory measures *virtual-time*
+quantities, which the regression gate can hold to tight tolerances
+because they are deterministic.  This one guards the orthogonal axis:
+how fast the simulator itself executes, so a refactor that quietly makes
+the event loop 3x slower is caught even though every virtual metric is
+byte-identical.
+
+The workload exercises the hot path end to end — spawns, channel
+sends/receives (blocking both ways: bounded capacity throttles
+producers, empty channels park consumers), Charge syscalls through the
+2-CPU SMP scheduler, and the resulting context switches.  The virtual
+outcome (``events``) is deterministic and gated at tolerance 0; the
+wall-clock rate (``events_per_sec``) is best-of-N to shave scheduler
+noise and gated with a wide tolerance, downward only.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.channels import Channel, Receive, Send
+from repro.kernel import Charge, Kernel
+
+from harness import print_table, write_results
+
+MESSAGES = 400
+PAIRS = 4
+ROUNDS = 3
+
+
+def simulate() -> Kernel:
+    kernel = Kernel(num_cpus=2)
+    chan = Channel(capacity=8)
+
+    def producer():
+        for i in range(MESSAGES):
+            yield Charge(2)
+            yield Send(chan, i)
+
+    def consumer():
+        for _ in range(MESSAGES):
+            yield Receive(chan)
+            yield Charge(3)
+
+    for _ in range(PAIRS):
+        kernel.spawn(producer)
+        kernel.spawn(consumer)
+    kernel.run()
+    return kernel
+
+
+def run_experiment() -> list[dict]:
+    best = float("inf")
+    kernel = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        kernel = simulate()
+        best = min(best, time.perf_counter() - start)
+    events = kernel.stats.resumptions
+    return [
+        {
+            "workload": "chan-pingpong-smp2",
+            "events": events,
+            "events_per_sec": int(events / best),
+            "best_wall_s": round(best, 4),
+            "virtual_elapsed": kernel.clock.now,
+        }
+    ]
+
+
+def test_espeed(capsys):
+    # Self-timed (best-of-ROUNDS inside run_experiment) rather than
+    # pytest-benchmark-timed: the gate reads the recorded JSON, so the
+    # number must be computed the same way with and without --benchmark-
+    # disable.
+    rows = run_experiment()
+    with capsys.disabled():
+        print_table(
+            f"ESPEED kernel microbenchmark: {PAIRS} producer/consumer "
+            f"pairs x {MESSAGES} messages, 2 CPUs",
+            rows,
+            note=f"best of {ROUNDS} runs; events = process resumptions",
+        )
+    write_results(
+        "ESPEED",
+        rows,
+        note="wall-clock events/sec; events gated exactly, rate loosely",
+    )
+    row = rows[0]
+    assert row["events"] > 0
+    assert row["events_per_sec"] > 0
+
+
+if __name__ == "__main__":
+    print_table("ESPEED", run_experiment())

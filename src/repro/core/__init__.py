@@ -6,6 +6,7 @@ from .admission import (
     SHED_PRI,
     SHED_PRI_ALWAYS,
     SWEEP_PRI,
+    CpuPressureGuard,
     DeadlineSweepGuard,
     PredictedWaitGuard,
     ShedGuard,
@@ -59,6 +60,7 @@ __all__ = [
     "WhenGuard",
     "ShedGuard",
     "DeadlineSweepGuard",
+    "CpuPressureGuard",
     "PredictedWaitGuard",
     "Start",
     "Finish",

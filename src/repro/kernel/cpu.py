@@ -1,14 +1,12 @@
-"""Simulated CPU pool.
+"""Simulated CPU pool (the unbounded-machine latency model).
 
 The kernel can model either an unbounded number of processors (pure
 latency model — simulated work by different processes overlaps freely) or
-a finite machine with ``count`` CPUs, where simulated work serializes once
-all CPUs are busy.
-
-The finite model is what makes the paper's priority argument observable:
-with CPUs contended, a high-priority manager acquires a CPU ahead of entry
-bodies that became runnable at the same instant, so entry calls are
-accepted "with minimum delay" (§1, §3).  Benchmark E7 sweeps this.
+a finite machine.  The unbounded case is handled here by time
+reservation; finite machines are scheduled by the SMP virtual machine in
+:mod:`repro.kernel.sched` (per-CPU runqueues, scheduling classes,
+node-local domains), which replaced the old single priority-queue grant
+scheduler.
 
 Acquisition is non-preemptive.  Ordering among processes that contend at
 the same virtual instant is provided by the kernel's event queue, which
@@ -23,6 +21,8 @@ import heapq
 
 class CpuPool:
     """Tracks the availability times of a fixed set of CPUs."""
+
+    __slots__ = ("count", "_free_at", "busy_ticks")
 
     def __init__(self, count: int | None) -> None:
         if count is not None and count < 1:
@@ -57,73 +57,19 @@ class CpuPool:
         return start, end
 
     def utilization(self, elapsed: int) -> float:
-        """Fraction of CPU capacity used over ``elapsed`` ticks."""
-        if elapsed <= 0 or self.count is None:
+        """CPU usage over ``elapsed`` ticks.
+
+        For a finite pool this is the fraction of capacity used (0..1).
+        An infinite pool has no capacity to divide by, so the value is
+        the *mean parallelism* instead — busy ticks per elapsed tick
+        (how many CPUs were occupied on average), rather than a
+        silently-lying 0.0.
+        """
+        if elapsed <= 0:
             return 0.0
+        if self.count is None:
+            return self.busy_ticks / elapsed
         return self.busy_ticks / (elapsed * self.count)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CpuPool(count={self.count}, busy={self.busy_ticks})"
-
-
-class PriorityCpuScheduler:
-    """Priority-queued CPU grants for a finite machine.
-
-    Unlike :class:`CpuPool` (which reserves time slots in request order),
-    requests that arrive while all CPUs are busy wait in a priority queue
-    and are granted CPUs highest-priority-first when one frees.  This is
-    what makes the paper's recommendation observable: a high-priority
-    manager's (short) synchronization steps jump ahead of queued entry-body
-    work, so the object stays receptive (§1, §3).  Non-preemptive: running
-    work is never interrupted.
-    """
-
-    def __init__(self, count: int) -> None:
-        if count < 1:
-            raise ValueError(f"cpu count must be >= 1, got {count}")
-        self.count = count
-        self._free = count
-        # (priority, seq, duration, action)
-        self._waiting: list[tuple[int, int, int, object]] = []
-        self._seq = 0
-        self.busy_ticks = 0
-        self.peak_queue = 0
-
-    @property
-    def queued(self) -> int:
-        return len(self._waiting)
-
-    def submit(self, kernel, priority: int, duration: int, action) -> None:
-        """Run ``duration`` ticks of work, then call ``action()``.
-
-        ``action`` fires at the virtual instant the work completes.
-        """
-        if duration <= 0:
-            action()
-            return
-        if self._free > 0:
-            self._start(kernel, duration, action)
-        else:
-            self._seq += 1
-            heapq.heappush(self._waiting, (priority, self._seq, duration, action))
-            self.peak_queue = max(self.peak_queue, len(self._waiting))
-
-    def _start(self, kernel, duration: int, action) -> None:
-        self._free -= 1
-        self.busy_ticks += duration
-        end = kernel.clock.now + duration
-
-        def finish() -> None:
-            self._free += 1
-            if self._waiting:
-                _prio, _seq, next_duration, next_action = heapq.heappop(self._waiting)
-                self._start(kernel, next_duration, next_action)
-            action()
-
-        kernel.post(end, finish)
-
-    def utilization(self, elapsed: int) -> float:
-        """Fraction of CPU capacity used over ``elapsed`` ticks."""
-        if elapsed <= 0:
-            return 0.0
-        return self.busy_ticks / (elapsed * self.count)

@@ -35,7 +35,8 @@ from ..errors import DeadlockError, GuardExhaustedError, KernelError, ProcessErr
 from ..obs import MetricsRegistry, Observability
 from .clock import VirtualClock
 from .costs import DEFAULT, CostModel
-from .cpu import CpuPool, PriorityCpuScheduler
+from .cpu import CpuPool
+from .sched import SmpScheduler
 from .process import (
     PRIORITY_NORMAL,
     Process,
@@ -86,7 +87,11 @@ class Kernel:
         Tick charges for kernel events (:class:`~repro.kernel.costs.CostModel`).
     num_cpus:
         ``None`` for an unbounded machine (pure latency model) or a positive
-        integer for a finite machine where simulated work contends.
+        integer for a finite machine where simulated work contends on an
+        SMP scheduler (per-CPU runqueues; see :mod:`repro.kernel.sched`).
+        ``cpus`` is an alias.  Nodes may additionally declare their own
+        CPU counts (``Network.add_node(name, cpus=...)``), which become
+        node-local scheduling domains.
     seed:
         Seed for all "arbitrary" choices; same seed => same run.
     arbitration:
@@ -109,16 +114,19 @@ class Kernel:
         arbitration: str = "ordered",
         trace: bool = False,
         spans: bool = False,
+        cpus: int | None = None,
     ) -> None:
         costs.validate()
         if arbitration not in ("ordered", "random"):
             raise KernelError(f"unknown arbitration policy {arbitration!r}")
+        if cpus is not None:
+            if num_cpus is not None and num_cpus != cpus:
+                raise KernelError(
+                    f"cpus= and num_cpus= disagree ({cpus} vs {num_cpus})"
+                )
+            num_cpus = cpus
         self.costs = costs
         self.cpus = CpuPool(None if num_cpus is None else num_cpus)
-        #: Priority-queued grant scheduler; only used for finite machines.
-        self.cpu_scheduler: PriorityCpuScheduler | None = (
-            None if num_cpus is None else PriorityCpuScheduler(num_cpus)
-        )
         self.clock = VirtualClock()
         self.rng = random.Random(seed)
         self.arbitration = arbitration
@@ -131,6 +139,11 @@ class Kernel:
         self.obs = Observability(self)
         if spans:
             self.obs.enable()
+        #: The SMP virtual machine: scheduling domains of per-CPU
+        #: runqueues (:mod:`repro.kernel.sched`).  The default domain
+        #: exists only on a finite machine; node-local domains register
+        #: through ``Network.add_node(name, cpus=...)`` either way.
+        self.cpu_scheduler = SmpScheduler(self, num_cpus)
         #: Fault-injection engine, if one is installed
         #: (:func:`repro.faults.install`).  ``None`` means the substrate is
         #: perfect: no crashes, no loss, no degradation.
@@ -206,8 +219,14 @@ class Kernel:
         proc.state = ProcessState.READY
         if cost and charge_to is not None:
             # Creation cost delays the new process's first dispatch; the
-            # work is queued at the *creator's* priority.
-            self._after_cpu(cost, charge_to.priority, lambda: self._schedule_step(proc))
+            # work is queued at the *creator's* priority on the
+            # creator's CPUs.
+            self._after_cpu(
+                cost,
+                charge_to.priority,
+                lambda: self._schedule_step(proc),
+                proc=charge_to,
+            )
         else:
             self._schedule_step(proc)
         self.trace.record(self.clock.now, "spawn", proc.name, pid=pid, priority=priority)
@@ -268,7 +287,9 @@ class Kernel:
         proc.waiting_for = None
         proc.epoch += 1
         if cost:
-            self._after_cpu(cost, proc.priority, lambda: self._schedule_step(proc))
+            self._after_cpu(
+                cost, proc.priority, lambda: self._schedule_step(proc), proc=proc
+            )
         else:
             self._schedule_step(proc)
 
@@ -283,22 +304,33 @@ class Kernel:
         proc.epoch += 1
         self._schedule_step(proc)
 
-    def _after_cpu(self, ticks: int, priority: int, action: Callable[[], None]) -> None:
+    def _after_cpu(
+        self,
+        ticks: int,
+        priority: int,
+        action: Callable[[], None],
+        proc: Process | None = None,
+    ) -> None:
         """Consume ``ticks`` of CPU, then run ``action``.
 
-        On an unbounded machine the work starts immediately; on a finite
-        machine it is granted CPUs by priority (smaller first), so a
+        ``proc`` (the process the work belongs to) routes the grant to
+        its home node's scheduling domain; without one — or on a node
+        with no declared CPUs — the kernel-wide default applies.  On an
+        unbounded machine the work starts immediately; on a finite
+        domain it contends on per-CPU runqueues where strict-class work
+        (priority < ``PRIORITY_NORMAL``) is granted first, so a
         high-priority manager's synchronization steps overtake queued
         entry-body work — the paper's receptiveness argument (§1, §3).
         """
         if ticks <= 0:
             action()
             return
-        if self.cpu_scheduler is None:
+        domain = self.cpu_scheduler.domain_of(proc)
+        if domain is None:
             _start, end = self.cpus.acquire(self.clock.now, ticks)
             self.post(end, action, priority=priority)
         else:
-            self.cpu_scheduler.submit(self, priority, ticks, action)
+            domain.submit(proc, priority, ticks, action)
 
     # ------------------------------------------------------------------
     # Run loop

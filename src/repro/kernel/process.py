@@ -75,6 +75,8 @@ class Process:
         "node",
         "span",
         "deadline_at",
+        "vruntime",
+        "last_cpu",
     )
 
     def __init__(
@@ -136,6 +138,14 @@ class Process:
         #: any: entry calls it issues inherit the remaining budget (set
         #: by the pool for body processes serving a deadlined call).
         self.deadline_at: int | None = None
+        #: Fair-class virtual runtime (ticks of granted CPU, scaled by
+        #: priority); orders fair runqueues in multi-CPU scheduling
+        #: domains (:mod:`repro.kernel.sched`).
+        self.vruntime = 0
+        #: ``(domain, cpu_index)`` of the last CPU that granted this
+        #: process work, or None before the first grant — cache-affinity
+        #: hint and migration detection for the SMP scheduler.
+        self.last_cpu: tuple | None = None
 
     # -- scheduling hooks (used by the scheduler only) ------------------
 

@@ -49,6 +49,17 @@ class KernelStats:
     calls_shed: int = 0
     #: Simulated CPU ticks consumed by Charge syscalls.
     work_ticks: int = 0
+    #: SMP scheduler: grants that landed on a different CPU than the
+    #: process's previous one (multi-CPU domains only).
+    migrations: int = 0
+    #: SMP scheduler: idle-steals — a freed CPU taking the front of the
+    #: most-loaded sibling runqueue.
+    steals: int = 0
+    #: SMP scheduler: periodic load-balancer invocations.
+    balance_runs: int = 0
+    #: Busy ticks per virtual CPU, keyed ``cpu0`` / ``<node>.cpu0``
+    #: (flattened as ``cpu.<key>`` in :meth:`snapshot`).
+    cpu: dict[str, int] = field(default_factory=dict)
     #: Extra tallies keyed by label (benchmarks may add their own).
     custom: dict[str, int] = field(default_factory=dict)
 
@@ -65,8 +76,10 @@ class KernelStats:
         flat = {
             f.name: getattr(self, f.name)
             for f in fields(self)
-            if f.name != "custom"
+            if f.name not in ("custom", "cpu")
         }
+        for key, value in self.cpu.items():
+            flat[f"cpu.{key}"] = value
         for key, value in self.custom.items():
             flat[f"custom.{key}"] = value
         return flat

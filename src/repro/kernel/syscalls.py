@@ -28,7 +28,7 @@ class Syscall:
     __slots__ = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class Spawn(Syscall):
     """Create a new process running ``fn(*args, **kwargs)``.
 
@@ -45,7 +45,7 @@ class Spawn(Syscall):
     lightweight: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class Join(Syscall):
     """Block until ``process`` terminates; returns its result.
 
@@ -55,7 +55,7 @@ class Join(Syscall):
     process: "Process"
 
 
-@dataclass
+@dataclass(slots=True)
 class Delay(Syscall):
     """Sleep for ``ticks`` of virtual time (0 = just reschedule)."""
 
@@ -80,7 +80,7 @@ class Self(Syscall):
     __slots__ = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class Charge(Syscall):
     """Charge ``ticks`` of simulated CPU work to the caller.
 
@@ -92,7 +92,7 @@ class Charge(Syscall):
     label: str = "work"
 
 
-@dataclass
+@dataclass(slots=True)
 class Select(Syscall):
     """Nondeterministic selection over guards (§2.4).
 
@@ -125,7 +125,7 @@ class Select(Syscall):
         self.unwrap = False
 
 
-@dataclass
+@dataclass(slots=True)
 class SelectResult:
     """Outcome of a ``Select``: which guard fired and what it delivered."""
 
@@ -139,7 +139,7 @@ class SelectResult:
         yield self.value
 
 
-@dataclass
+@dataclass(slots=True)
 class Par(Syscall):
     """Parallel execution (§2.1.1): run thunks concurrently, wait for all.
 
@@ -159,14 +159,14 @@ class Par(Syscall):
         self.priority = priority
 
 
-@dataclass
+@dataclass(slots=True)
 class Kill(Syscall):
     """Terminate another process. Returns True if it was alive."""
 
     process: "Process"
 
 
-@dataclass
+@dataclass(slots=True)
 class SetPriority(Syscall):
     """Change a process's priority (own process if ``process`` is None)."""
 

@@ -27,11 +27,17 @@ if TYPE_CHECKING:  # pragma: no cover
 class Node:
     """One machine in the simulated network."""
 
-    def __init__(self, network: "Network", name: str) -> None:
+    def __init__(self, network: "Network", name: str, cpus: int | None = None) -> None:
         self.network = network
         self.name = name
         #: Objects placed here (name → object), for diagnostics.
         self.objects: dict[str, Any] = {}
+        #: Declared CPU count; None inherits the kernel-wide default
+        #: machine.  A count gives this node its own scheduling domain
+        #: (:mod:`repro.kernel.sched`): processes homed here contend on
+        #: node-local per-CPU runqueues, and load never balances across
+        #: nodes — they are separate machines.
+        self.cpus = cpus
 
     def spawn(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> "Process":
         """Spawn a process whose home is this node."""
@@ -86,10 +92,15 @@ class Network:
 
     # -- topology ---------------------------------------------------------
 
-    def add_node(self, name: str) -> Node:
+    def add_node(self, name: str, cpus: int | None = None) -> Node:
+        """Add a node; ``cpus`` gives it a node-local scheduling domain."""
         if name in self._nodes:
             raise NetworkError(f"duplicate node {name!r}")
-        node = Node(self, name)
+        node = Node(self, name, cpus=cpus)
+        if cpus is not None:
+            # Registration is keyed by node name kernel-wide, so a CPU
+            # count may be declared once per name even across networks.
+            self.kernel.cpu_scheduler.add_domain(name, cpus)
         self._nodes[name] = node
         self._links[name] = {}
         self._routes = None

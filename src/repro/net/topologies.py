@@ -24,17 +24,21 @@ def transputer_grid(
     cols: int = 4,
     link_latency: int = 1,
     torus: bool = False,
+    cpus_per_node: int | None = None,
 ) -> Network:
     """A rows×cols transputer grid (default: the paper's 16 nodes).
 
     Node names are ``t<r>_<c>``; each chip uses at most its four links
     (grid neighbours), faithfully to transputer hardware.
+    ``cpus_per_node`` gives every node its own scheduling domain of that
+    many CPUs (a T800 is one CPU; larger counts model SMP nodes).
     """
     if rows < 1 or cols < 1:
         raise NetworkError(f"grid must be at least 1x1, got {rows}x{cols}")
     net = Network(kernel, name=f"transputer{rows}x{cols}")
     grid: list[list[Node]] = [
-        [net.add_node(f"t{r}_{c}") for c in range(cols)] for r in range(rows)
+        [net.add_node(f"t{r}_{c}", cpus=cpus_per_node) for c in range(cols)]
+        for r in range(rows)
     ]
     for r in range(rows):
         for c in range(cols):
@@ -49,47 +53,67 @@ def transputer_grid(
     return net
 
 
-def ring(kernel: "Kernel", size: int, link_latency: int = 1) -> Network:
+def ring(
+    kernel: "Kernel",
+    size: int,
+    link_latency: int = 1,
+    cpus_per_node: int | None = None,
+) -> Network:
     """A ring of ``size`` nodes named ``n0 .. n<size-1>``."""
     if size < 2:
         raise NetworkError(f"ring needs >= 2 nodes, got {size}")
     net = Network(kernel, name=f"ring{size}")
-    nodes = [net.add_node(f"n{i}") for i in range(size)]
+    nodes = [net.add_node(f"n{i}", cpus=cpus_per_node) for i in range(size)]
     for i in range(size):
         net.connect(nodes[i], nodes[(i + 1) % size], link_latency)
     return net
 
 
-def star(kernel: "Kernel", leaves: int, link_latency: int = 1) -> Network:
+def star(
+    kernel: "Kernel",
+    leaves: int,
+    link_latency: int = 1,
+    cpus_per_node: int | None = None,
+) -> Network:
     """A hub node ``hub`` with ``leaves`` spokes ``n0..``."""
     if leaves < 1:
         raise NetworkError(f"star needs >= 1 leaf, got {leaves}")
     net = Network(kernel, name=f"star{leaves}")
-    hub = net.add_node("hub")
+    hub = net.add_node("hub", cpus=cpus_per_node)
     for i in range(leaves):
-        net.connect(hub, net.add_node(f"n{i}"), link_latency)
+        net.connect(hub, net.add_node(f"n{i}", cpus=cpus_per_node), link_latency)
     return net
 
 
-def full_mesh(kernel: "Kernel", size: int, link_latency: int = 1) -> Network:
+def full_mesh(
+    kernel: "Kernel",
+    size: int,
+    link_latency: int = 1,
+    cpus_per_node: int | None = None,
+) -> Network:
     """Every node linked to every other (shared-bus approximation)."""
     if size < 2:
         raise NetworkError(f"mesh needs >= 2 nodes, got {size}")
     net = Network(kernel, name=f"mesh{size}")
-    nodes = [net.add_node(f"n{i}") for i in range(size)]
+    nodes = [net.add_node(f"n{i}", cpus=cpus_per_node) for i in range(size)]
     for i in range(size):
         for j in range(i + 1, size):
             net.connect(nodes[i], nodes[j], link_latency)
     return net
 
 
-def hypercube(kernel: "Kernel", dimension: int, link_latency: int = 1) -> Network:
+def hypercube(
+    kernel: "Kernel",
+    dimension: int,
+    link_latency: int = 1,
+    cpus_per_node: int | None = None,
+) -> Network:
     """A 2^d-node hypercube (the Intel iPSC shape the paper mentions)."""
     if dimension < 1:
         raise NetworkError(f"hypercube dimension must be >= 1, got {dimension}")
     net = Network(kernel, name=f"hypercube{dimension}")
     size = 1 << dimension
-    nodes = [net.add_node(f"n{i:0{dimension}b}") for i in range(size)]
+    nodes = [net.add_node(f"n{i:0{dimension}b}", cpus=cpus_per_node) for i in range(size)]
     for i in range(size):
         for bit in range(dimension):
             j = i ^ (1 << bit)

@@ -115,6 +115,20 @@ TRACKED: dict[str, Experiment] = {
          Metric("conservation_violations", higher_is_better=False, tolerance=0.0),
          Metric("error", higher_is_better=False, tolerance=0.0)],
     ),
+    "E6SMP": Experiment(
+        ("cpus_per_node",),
+        [Metric("goodput_per_ktick", higher_is_better=True, tolerance=0.05),
+         Metric("p95_response", higher_is_better=False, tolerance=0.10)],
+    ),
+    "ESPEED": Experiment(
+        ("workload",),
+        # The virtual outcome is deterministic: any drift in resumption
+        # count means the kernel's semantics changed, not its speed.
+        [Metric("events", higher_is_better=False, tolerance=0.0),
+         # Wall-clock rate is noisy across runners — gate only a gross
+         # slowdown (60%), never a speedup.
+         Metric("events_per_sec", higher_is_better=True, tolerance=0.6)],
+    ),
 }
 
 

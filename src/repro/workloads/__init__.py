@@ -1,7 +1,15 @@
 """Workload generation: arrivals, skew, traces, and the traffic engine."""
 
 from .engine import Outcome, Request, TrafficEngine, TrafficResult
-from .generators import ArrivalProcess, Bursty, Poisson, Uniform, closed_loop, open_loop
+from .generators import (
+    ArrivalProcess,
+    Bursty,
+    Diurnal,
+    Poisson,
+    Uniform,
+    closed_loop,
+    open_loop,
+)
 from .slo import SloReport, find_knee, goodput_timeline, percentile, summarize
 from .traces import TraceEntry, mixed_trace, replay
 from .zipf import Zipf, word_corpus
@@ -10,6 +18,7 @@ __all__ = [
     "ArrivalProcess",
     "Uniform",
     "Poisson",
+    "Diurnal",
     "Bursty",
     "open_loop",
     "closed_loop",

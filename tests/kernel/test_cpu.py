@@ -14,10 +14,15 @@ class TestInfinitePool:
     def test_infinite_flag(self):
         assert CpuPool(None).infinite
 
-    def test_utilization_is_zero(self):
+    def test_utilization_reports_mean_parallelism(self):
+        # No finite capacity to divide by: the infinite pool reports
+        # busy ticks per elapsed tick (mean parallelism), not 0.0.
         pool = CpuPool(None)
         pool.acquire(0, 100)
-        assert pool.utilization(100) == 0.0
+        pool.acquire(0, 100)
+        assert pool.utilization(100) == pytest.approx(2.0)
+        assert pool.utilization(400) == pytest.approx(0.5)
+        assert pool.utilization(0) == 0.0
 
 
 class TestFinitePool:

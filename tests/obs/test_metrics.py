@@ -105,8 +105,12 @@ class TestKernelStatsSnapshot:
 
         stats = KernelStats()
         snap = stats.snapshot()
-        expected = {f.name for f in fields(KernelStats)} - {"custom"}
+        # ``custom`` and ``cpu`` are dict fields flattened with their own
+        # prefixes instead of appearing as single keys.
+        expected = {f.name for f in fields(KernelStats)} - {"custom", "cpu"}
         assert set(snap) == expected
+        stats.cpu["cpu0"] = 7
+        assert stats.snapshot()["cpu.cpu0"] == 7
 
     def test_snapshot_prefixes_custom(self):
         from repro.kernel.stats import KernelStats

@@ -4,7 +4,7 @@ import pytest
 
 from repro.kernel import Delay, Kernel
 from repro.kernel.costs import FREE
-from repro.workloads import Bursty, Poisson, Uniform, closed_loop, open_loop
+from repro.workloads import Bursty, Diurnal, Poisson, Uniform, closed_loop, open_loop
 
 
 class TestUniform:
@@ -34,6 +34,47 @@ class TestPoisson:
     def test_invalid_mean_rejected(self):
         with pytest.raises(ValueError):
             Poisson(0)
+
+
+class TestDiurnal:
+    def test_replay_identical_per_seed(self):
+        a = Diurnal(10, period=1000, amplitude=0.8, seed=7).arrivals(300)
+        b = Diurnal(10, period=1000, amplitude=0.8, seed=7).arrivals(300)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert (
+            Diurnal(10, period=1000, seed=1).arrivals(50)
+            != Diurnal(10, period=1000, seed=2).arrivals(50)
+        )
+
+    def test_sinusoid_modulates_rate(self):
+        # sin(2πt/period) is positive over the first half of each cycle
+        # and negative over the second: with amplitude 0.8 the peak half
+        # must collect several times the arrivals of the trough half.
+        arrivals = Diurnal(10, period=1000, amplitude=0.8, seed=42).arrivals(500)
+        peak = sum(1 for t in arrivals if (t % 1000) < 500)
+        trough = len(arrivals) - peak
+        assert peak > 2 * trough
+
+    def test_zero_amplitude_is_plain_poisson_rate(self):
+        arrivals = Diurnal(10, period=1000, amplitude=0.0, seed=0).arrivals(2000)
+        mean_gap = arrivals[-1] / len(arrivals)
+        assert 8 < mean_gap < 12
+
+    def test_gaps_are_nonnegative_monotone(self):
+        d = Diurnal(5, period=200, amplitude=1.0, seed=3)
+        gaps = d.gaps()
+        values = [next(gaps) for _ in range(200)]
+        assert all(g >= 0 for g in values)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Diurnal(0, period=100)
+        with pytest.raises(ValueError):
+            Diurnal(10, period=0)
+        with pytest.raises(ValueError):
+            Diurnal(10, period=100, amplitude=1.5)
 
 
 class TestBursty:

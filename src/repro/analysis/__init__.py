@@ -12,6 +12,12 @@ Two complementary halves:
   quiescence, and the opt-in :class:`LiveDeadlockDetector` that flags
   circular waits and exhausted hidden pools *before* quiescence.
 
+A third, **whole-program** half (:mod:`.wholeprogram`) bridges them: a
+cross-object static call graph predicts the wait cycles (ALP120) the
+runtime graph would only discover once stuck, and checks that entries
+declared ``compatible=`` touch disjoint attributes (ALP121).  CLI:
+``python -m repro.analysis --whole-program [--dot] [--sarif FILE]``.
+
 The two halves share the code namespace: a defect the linter reports as
 ``ALP104`` raises ``ProtocolError(code="ALP104")`` when provoked at
 runtime.
@@ -26,12 +32,22 @@ from ..kernel.waitgraph import (
 from .dot import to_dot
 from .findings import CATALOGUE, Check, Finding, Severity
 from .live import LiveDeadlockDetector
+from .sarif import render_sarif, to_sarif
 from .static import (
     ManagerLinter,
     lint_class,
     lint_file,
     lint_paths,
     lint_source,
+)
+from .wholeprogram import (
+    analyze_paths,
+    build_call_graph,
+    build_program,
+    callgraph_to_dot,
+    check_interference,
+    entry_effects,
+    predict_cycles,
 )
 
 __all__ = [
@@ -44,10 +60,19 @@ __all__ = [
     "Severity",
     "WaitEdge",
     "WaitForSnapshot",
+    "analyze_paths",
+    "build_call_graph",
+    "build_program",
     "build_wait_graph",
+    "callgraph_to_dot",
+    "check_interference",
+    "entry_effects",
     "lint_class",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "predict_cycles",
+    "render_sarif",
     "to_dot",
+    "to_sarif",
 ]

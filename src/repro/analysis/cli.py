@@ -8,11 +8,18 @@ Run as ``python -m repro.analysis`` (or via ``tools/alpslint.py``)::
     python -m repro.analysis --list-checks               # show catalogue
     python -m repro.analysis --check-corpus tests/fixtures/analysis
     python -m repro.analysis --dot snapshot.json -o wait_for.dot
+    python -m repro.analysis --whole-program src examples  # merged program
+    python -m repro.analysis --whole-program --dot src -o callgraph.dot
+    python -m repro.analysis --sarif out.sarif src       # PR annotations
 
 Exit codes: 0 clean, 1 findings reported (or corpus failures), 2 usage /
-input errors.  ``--dot`` renders a wait-for snapshot (the
+input errors (including unknown ``--select``/``--ignore`` codes).
+``--dot SNAPSHOT`` renders a wait-for snapshot (the
 ``WaitForSnapshot.to_json()`` dump carried by ``DeadlockError``) as
-Graphviz DOT instead of linting.  ``--check-corpus`` is the CI self-test: every
+Graphviz DOT instead of linting; under ``--whole-program`` a bare
+``--dot`` exports the *static call graph* instead, predicted-cycle
+edges red/bold — the two graphs share a notation so a prediction can be
+laid beside the live snapshot.  ``--check-corpus`` is the CI self-test: every
 ``bad_*.py`` fixture must produce exactly the codes named in its
 ``# expect: ALPxxx [ALPyyy ...]`` header and every ``good_*.py`` must
 lint clean — and an *empty* corpus is a failure, so a bad glob can
@@ -33,15 +40,20 @@ from .static import lint_file, lint_paths
 _EXPECT_RE = re.compile(r"^#\s*expect:\s*(.+)$", re.MULTILINE)
 
 
+class UsageError(Exception):
+    """Bad invocation (exit 2), as opposed to findings (exit 1)."""
+
+
 def _parse_codes(raw: str | None) -> set[str] | None:
     if raw is None:
         return None
     codes = {part.strip().upper() for part in raw.split(",") if part.strip()}
     unknown = codes - set(CATALOGUE)
     if unknown:
-        raise SystemExit(
-            f"alpslint: unknown code(s): {', '.join(sorted(unknown))} "
-            f"(see --list-checks)"
+        valid = ", ".join(sorted(CATALOGUE))
+        raise UsageError(
+            f"alpslint: unknown code(s): {', '.join(sorted(unknown))}; "
+            f"valid codes: {valid}"
         )
     return codes
 
@@ -207,9 +219,25 @@ def main(argv: list[str] | None = None) -> int:
         help="self-test: verify the bad/good fixture corpus in DIR",
     )
     parser.add_argument(
+        "--whole-program",
+        action="store_true",
+        help="merge all paths into one program: cross-file call graph, "
+        "ALP120 cycle prediction, ALP121 interference",
+    )
+    parser.add_argument(
         "--dot",
         metavar="SNAPSHOT",
-        help="render a wait-for snapshot JSON file as Graphviz DOT",
+        nargs="?",
+        const="",
+        default=None,
+        help="render a wait-for snapshot JSON file as Graphviz DOT; under "
+        "--whole-program, a bare --dot exports the static call graph",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="additionally write findings as SARIF 2.1.0 to FILE "
+        "(for PR annotation uploads)",
     )
     parser.add_argument(
         "-o",
@@ -218,11 +246,24 @@ def main(argv: list[str] | None = None) -> int:
         help="with --dot: write the DOT text here instead of stdout",
     )
     args = parser.parse_args(argv)
+    if args.whole_program and args.dot:
+        # Under --whole-program a bare --dot means "export the call
+        # graph"; anything argparse attached to it is really a path
+        # (``--whole-program --dot src`` must lint src).
+        args.paths.insert(0, args.dot)
+        args.dot = ""
 
     if args.list_checks:
         _list_checks(sys.stdout)
         return 0
-    if args.dot:
+    if args.dot is not None and not args.whole_program:
+        if not args.dot:
+            print(
+                "alpslint: bare --dot needs --whole-program "
+                "(or pass a snapshot file)",
+                file=sys.stderr,
+            )
+            return 2
         return render_dot(args.dot, args.output, sys.stderr)
     if args.check_corpus:
         return check_corpus(args.check_corpus, sys.stdout)
@@ -236,13 +277,47 @@ def main(argv: list[str] | None = None) -> int:
             print(f"alpslint: path not found: {path}", file=sys.stderr)
             return 2
 
+    graph = None
     try:
-        findings = lint_paths(args.paths)
+        if args.whole_program:
+            from .wholeprogram import analyze_paths
+
+            # One merged program for the cross-file checks; per-class
+            # checks still run per module (program_checks off to avoid
+            # duplicating ALP120/ALP121 from the single-module pass).
+            graph, wp_findings = analyze_paths(args.paths)
+            findings = lint_paths(args.paths, program_checks=False)
+            findings.extend(wp_findings)
+            findings.sort(key=lambda f: (f.path, f.line, f.code))
+        else:
+            findings = lint_paths(args.paths)
     except SyntaxError as exc:
         print(f"alpslint: cannot parse {exc.filename}: {exc}", file=sys.stderr)
         return 2
-    findings = _filter(
-        findings, _parse_codes(args.select), _parse_codes(args.ignore)
-    )
-    _print_findings(findings, args.fmt, sys.stdout)
+    try:
+        findings = _filter(
+            findings, _parse_codes(args.select), _parse_codes(args.ignore)
+        )
+    except UsageError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    dot_on_stdout = False
+    if args.dot is not None and args.whole_program and graph is not None:
+        from .wholeprogram import callgraph_to_dot
+
+        text = callgraph_to_dot(graph) + "\n"
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        else:
+            sys.stdout.write(text)
+            dot_on_stdout = True
+    if args.sarif:
+        from .sarif import render_sarif
+
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(render_sarif(findings))
+    if not dot_on_stdout:
+        _print_findings(findings, args.fmt, sys.stdout)
     return 1 if any(f.severity is Severity.ERROR for f in findings) else 0

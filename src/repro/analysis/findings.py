@@ -142,6 +142,26 @@ CATALOGUE: dict[str, Check] = {
             "no budget=; under a persistent fault it re-offers the call "
             "forever, and a fleet of such callers is a retry storm.",
         ),
+        Check(
+            "ALP120",
+            "predicted-wait-cycle",
+            Severity.ERROR,
+            "The whole-program call graph contains a wait cycle: following "
+            "manager-blocking operations (direct entry calls, inline "
+            "execute, non-receptive awaits) and body-level entry calls "
+            "from object to object returns to the starting node, so a "
+            "schedule exists in which every participant waits for another "
+            "(the ALP111 family, across managers).",
+        ),
+        Check(
+            "ALP121",
+            "compatible-entries-interfere",
+            Severity.ERROR,
+            "Entries declared compatible= (multiactive compatibility "
+            "group) have overlapping attribute effect sets: one writes an "
+            "attribute the other reads or writes, so their bodies cannot "
+            "safely run concurrently.",
+        ),
         # -- runtime-only codes (shared namespace, raised as
         #    ProtocolError(code=...) by repro.core) -------------------------
         Check(

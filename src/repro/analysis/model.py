@@ -65,6 +65,11 @@ class EntryInfo:
     hidden_params: Any = 0
     hidden_results: Any = 0
     intercept: InterceptInfo | None = None
+    #: Compatibility groups from ``compatible=`` (multiactive annotation);
+    #: empty when undeclared, UNKNOWN when syntactically unresolvable.
+    compatible: Any = ()
+    #: The body ``def`` node (None in reflective mode when unavailable).
+    fn: ast.FunctionDef | None = None
 
     @property
     def def_params(self) -> Any:
@@ -105,6 +110,9 @@ class ObjectInfo:
     path: str = "<source>"
     entries: dict[str, EntryInfo] = field(default_factory=dict)
     manager: ManagerInfo | None = None
+    #: Plain (undecorated) methods — ``setup``, helpers — by name; the
+    #: whole-program analysis inlines these when a body calls them.
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
 
     def intercepted(self) -> dict[str, EntryInfo]:
         if self.manager is None or self.manager.intercepts is None:
@@ -167,6 +175,7 @@ def _parse_entry(fn: ast.FunctionDef, deco: ast.expr, kind: str) -> EntryInfo:
         n_formals=max(0, len(fn.args.args) - 1)
         + len(fn.args.posonlyargs),
     )
+    info.fn = fn
     if isinstance(deco, ast.Call):
         for kw in deco.keywords:
             if kw.arg == "returns":
@@ -178,7 +187,21 @@ def _parse_entry(fn: ast.FunctionDef, deco: ast.expr, kind: str) -> EntryInfo:
                 info.hidden_params = const_value(kw.value)
             elif kw.arg == "hidden_results":
                 info.hidden_results = const_value(kw.value)
+            elif kw.arg == "compatible":
+                info.compatible = _parse_compatible(kw.value)
     return info
+
+
+def _parse_compatible(node: ast.expr) -> Any:
+    """``compatible="g"`` / ``compatible=("g", "h")`` → tuple of names."""
+    value = const_value(node)
+    if isinstance(value, str):
+        return (value,)
+    if isinstance(node, (ast.Tuple, ast.List)):
+        names = [const_value(el) for el in node.elts]
+        if all(isinstance(n, str) for n in names):
+            return tuple(dict.fromkeys(names))
+    return UNKNOWN
 
 
 def _parse_manager(fn: ast.FunctionDef, deco: ast.expr) -> ManagerInfo:
@@ -191,13 +214,18 @@ def _parse_manager(fn: ast.FunctionDef, deco: ast.expr) -> ManagerInfo:
     return info
 
 
-def extract_objects(tree: ast.Module, path: str = "<source>") -> list[ObjectInfo]:
+def extract_objects(
+    tree: ast.Module, path: str = "<source>", managed_only: bool = True
+) -> list[ObjectInfo]:
     """All ALPS object classes in a module (any nesting depth).
 
-    Only classes declaring a ``@manager_process`` are returned — they are
-    the lint targets; a managerless object has no protocol to get wrong.
-    Single-module inheritance is resolved by base-class name so fixture
-    hierarchies behave like the metaclass does.
+    By default only classes declaring a ``@manager_process`` are returned
+    — they are the per-class lint targets; a managerless object has no
+    protocol to get wrong.  The whole-program analysis passes
+    ``managed_only=False`` to also see unmanaged objects (their bodies
+    participate in cross-object wait cycles through hidden procedure
+    arrays).  Single-module inheritance is resolved by base-class name so
+    fixture hierarchies behave like the metaclass does.
     """
     by_name: dict[str, ObjectInfo] = {}
     objects: list[ObjectInfo] = []
@@ -211,20 +239,26 @@ def extract_objects(tree: ast.Module, path: str = "<source>") -> list[ObjectInfo
             parent = by_name.get(base_name or "")
             if parent is not None:
                 info.entries.update(parent.entries)
+                info.methods.update(parent.methods)
                 info.manager = parent.manager
         for stmt in node.body:
             if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
+            handled = False
             for deco in stmt.decorator_list:
                 kind = decorator_name(deco)
                 if kind in ("entry", "local") and isinstance(
                     stmt, ast.FunctionDef
                 ):
                     info.entries[stmt.name] = _parse_entry(stmt, deco, kind)
+                    handled = True
                 elif kind == "manager_process" and isinstance(
                     stmt, ast.FunctionDef
                 ):
                     info.manager = _parse_manager(stmt, deco)
+                    handled = True
+            if not handled and isinstance(stmt, ast.FunctionDef):
+                info.methods[stmt.name] = stmt
         by_name[node.name] = info
         if info.manager is not None:
             # Attach intercept info to the entries (mirrors the metaclass).
@@ -234,6 +268,8 @@ def extract_objects(tree: ast.Module, path: str = "<source>") -> list[ObjectInfo
                 for name, icpt_info in info.manager.intercepts.items():
                     if name in info.entries:
                         info.entries[name].intercept = icpt_info
+            objects.append(info)
+        elif not managed_only and info.entries:
             objects.append(info)
     return objects
 
@@ -266,6 +302,7 @@ def object_info_from_class(cls: type, path: str, tree: ast.Module) -> ObjectInfo
             array=spec.array,
             hidden_params=spec.hidden_params,
             hidden_results=spec.hidden_results,
+            compatible=tuple(getattr(spec, "compatible", ()) or ()),
         )
         if spec.intercept is not None:
             entry.intercept = InterceptInfo(
@@ -273,6 +310,10 @@ def object_info_from_class(cls: type, path: str, tree: ast.Module) -> ObjectInfo
                 results=spec.intercept.results,
                 line=class_node.lineno,
             )
+        for stmt in class_node.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+                entry.fn = stmt
+                entry.line = stmt.lineno
         info.entries[name] = entry
     if manager_spec is not None:
         for stmt in class_node.body:

@@ -1,0 +1,93 @@
+"""SARIF 2.1.0 export of linter findings.
+
+SARIF (Static Analysis Results Interchange Format) is the log format
+code-hosting UIs ingest to annotate pull requests with findings.  The
+CI lint job runs ``python -m repro.analysis --sarif alpslint.sarif ...``
+and uploads the file, so an ALP120 predicted cycle shows up as an
+inline annotation on the line of the offending call site.
+
+Only the subset of the schema the annotators read is emitted: one run,
+one rule per catalogue entry (so rule metadata — title, full
+description — travels with the log), one result per finding with a
+physical location.  Column numbers are converted from the linter's
+0-based ``col`` to SARIF's 1-based ``startColumn``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .findings import CATALOGUE, Finding, Severity
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def to_sarif(findings: list[Finding]) -> dict:
+    """Build the SARIF log dict for *findings*."""
+    used_codes = sorted({f.code for f in findings})
+    rules = [
+        {
+            "id": code,
+            "name": CATALOGUE[code].title,
+            "shortDescription": {"text": CATALOGUE[code].title},
+            "fullDescription": {"text": CATALOGUE[code].summary},
+            "defaultConfiguration": {
+                "level": _level(CATALOGUE[code].severity)
+            },
+        }
+        for code in used_codes
+    ]
+    rule_index = {code: i for i, code in enumerate(used_codes)}
+    results = []
+    for finding in findings:
+        message = finding.message
+        if finding.suggestion:
+            message += f" — fix: {finding.suggestion}"
+        results.append(
+            {
+                "ruleId": finding.code,
+                "ruleIndex": rule_index[finding.code],
+                "level": _level(finding.severity),
+                "message": {"text": message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path},
+                            "region": {
+                                "startLine": max(1, finding.line),
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "alpslint",
+                        "informationUri": (
+                            "https://example.invalid/repro/analysis"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(findings: list[Finding]) -> str:
+    return json.dumps(to_sarif(findings), indent=2) + "\n"

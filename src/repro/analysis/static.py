@@ -645,60 +645,122 @@ def _retry_policy_arg(call: ast.Call) -> ast.expr | None:
     return None
 
 
+def _callable_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _unbounded_policy_ctor(node: ast.expr | None) -> str | None:
+    """Constructor name if *node* is ``Ctor(..., max_attempts=None)``."""
+    if not isinstance(node, ast.Call):
+        return None
+    ctor = _callable_name(node)
+    if ctor not in _POLICY_CTORS:
+        return None
+    unbounded = any(
+        kw.arg == "max_attempts" and _is_none(kw.value) for kw in node.keywords
+    )
+    return ctor if unbounded else None
+
+
 def lint_retry_sites(tree: ast.Module, path: str = "<source>") -> list[Finding]:
     """ALP114: ``retry()`` with an unbounded policy and no budget.
 
-    Flags call sites of ``retry`` whose policy is an *inline* policy
-    constructor with an explicit ``max_attempts=None`` and which pass no
-    (or a ``None``) ``budget=``.  Inline-only is the conservative
-    direction: a policy held in a variable may be bounded elsewhere, and
-    the linter fabricates no findings it cannot see locally.
+    Flags call sites of ``retry`` — at module level, in class methods,
+    or in nested functions — whose policy is an explicit
+    ``max_attempts=None`` constructor and which pass no (or a ``None``)
+    ``budget=``.  The policy may be written inline at the call site or
+    held in a local variable; variable bindings are tracked per lexical
+    scope (nested functions see enclosing bindings, reassignment to
+    anything unrecognized clears the binding, and class-level names are
+    not visible inside methods — matching Python's scoping).  Policies
+    that arrive as parameters or attributes stay unflagged: they may be
+    bounded elsewhere, and the linter fabricates no findings it cannot
+    see locally.
     """
     findings: list[Finding] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        name = (
-            node.func.attr
-            if isinstance(node.func, ast.Attribute)
-            else node.func.id
-            if isinstance(node.func, ast.Name)
-            else None
-        )
-        if name != "retry":
-            continue
+    _RetryScopeWalker(findings, path).scan(tree.body, {})
+    return findings
+
+
+class _RetryScopeWalker:
+    """Order-sensitive walk tracking unbounded-policy variable bindings."""
+
+    def __init__(self, findings: list[Finding], path: str) -> None:
+        self.findings = findings
+        self.path = path
+
+    def scan(self, stmts: Iterable[ast.stmt], env: dict[str, str]) -> None:
+        for stmt in stmts:
+            self._scan_stmt(stmt, env)
+
+    def _scan_stmt(self, stmt: ast.stmt, env: dict[str, str]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested scope: closures see the enclosing bindings; local
+            # reassignments must not leak back out.
+            self.scan(stmt.body, dict(env))
+            return
+        if isinstance(stmt, ast.ClassDef):
+            # Class-level assignments are not visible as bare names in
+            # method bodies; methods close over the *enclosing* scope.
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self.scan(sub.body, dict(env))
+                elif isinstance(sub, ast.ClassDef):
+                    self._scan_stmt(sub, env)
+            return
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            self._check_expr(stmt.value, env)
+            if isinstance(target, ast.Name):
+                ctor = _unbounded_policy_ctor(stmt.value)
+                if ctor is not None:
+                    env[target.id] = ctor
+                else:
+                    env.pop(target.id, None)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._scan_stmt(child, env)
+            else:
+                self._check_expr(child, env)
+
+    def _check_expr(self, node: ast.AST, env: dict[str, str]) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and _callable_name(sub) == "retry":
+                self._check_retry_site(sub, env)
+
+    def _check_retry_site(self, node: ast.Call, env: dict[str, str]) -> None:
         policy = _retry_policy_arg(node)
-        if not isinstance(policy, ast.Call):
-            continue
-        ctor = (
-            policy.func.attr
-            if isinstance(policy.func, ast.Attribute)
-            else policy.func.id
-            if isinstance(policy.func, ast.Name)
-            else None
-        )
-        if ctor not in _POLICY_CTORS:
-            continue
-        unbounded = any(
-            kw.arg == "max_attempts" and _is_none(kw.value)
-            for kw in policy.keywords
-        )
-        if not unbounded:
-            continue
+        held = None
+        ctor = _unbounded_policy_ctor(policy)
+        if ctor is None and isinstance(policy, ast.Name):
+            ctor = env.get(policy.id)
+            held = policy.id if ctor is not None else None
+        if ctor is None:
+            return
         budget = next(
             (kw.value for kw in node.keywords if kw.arg == "budget"), None
         )
         if budget is not None and not _is_none(budget):
-            continue
-        findings.append(
+            return
+        source = (
+            f"policy {held!r} = {ctor}(max_attempts=None)"
+            if held is not None
+            else f"{ctor}(max_attempts=None)"
+        )
+        self.findings.append(
             Finding(
                 code="ALP114",
                 message=(
-                    f"retry() with {ctor}(max_attempts=None) and no "
-                    f"budget: a persistent fault makes this caller "
-                    f"re-offer its call forever (retry storm)"
+                    f"retry() with {source} and no budget: a persistent "
+                    f"fault makes this caller re-offer its call forever "
+                    f"(retry storm)"
                 ),
-                path=path,
+                path=self.path,
                 line=node.lineno,
                 col=node.col_offset,
                 suggestion=(
@@ -708,41 +770,54 @@ def lint_retry_sites(tree: ast.Module, path: str = "<source>") -> list[Finding]:
                 ),
             )
         )
-    return findings
 
 
 # -- public API -------------------------------------------------------------
 
 
-def lint_tree(tree: ast.Module, path: str = "<source>") -> list[Finding]:
+def lint_tree(
+    tree: ast.Module, path: str = "<source>", program_checks: bool = True
+) -> list[Finding]:
     findings: list[Finding] = []
     for obj in extract_objects(tree, path=path):
         findings.extend(ManagerLinter(obj).run())
     findings.extend(lint_retry_sites(tree, path=path))
+    if program_checks:
+        # Single-module whole-program checks (ALP120/ALP121): cycles and
+        # interference confined to one file surface on every lint path;
+        # the --whole-program CLI mode merges files first and disables
+        # the per-module run to avoid duplicate findings.
+        from .wholeprogram import lint_tree_program
+
+        findings.extend(lint_tree_program(tree, path=path))
     findings.sort(key=lambda f: (f.path, f.line, f.code))
     return findings
 
 
-def lint_source(source: str, path: str = "<source>") -> list[Finding]:
+def lint_source(
+    source: str, path: str = "<source>", program_checks: bool = True
+) -> list[Finding]:
     """Lint python source text; returns the findings (possibly empty)."""
     tree = ast.parse(source, filename=path)
-    return lint_tree(tree, path=path)
+    return lint_tree(tree, path=path, program_checks=program_checks)
 
 
-def lint_file(path: str) -> list[Finding]:
+def lint_file(path: str, program_checks: bool = True) -> list[Finding]:
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
-    return lint_source(source, path=str(path))
+    return lint_source(source, path=str(path), program_checks=program_checks)
 
 
-def lint_paths(paths: Iterable[str]) -> list[Finding]:
+def lint_paths(
+    paths: Iterable[str], program_checks: bool = True
+) -> list[Finding]:
     """Lint every ``.py`` file under the given files/directories."""
     import os
 
     findings: list[Finding] = []
     for root_path in paths:
         if os.path.isfile(root_path):
-            findings.extend(lint_file(root_path))
+            findings.extend(lint_file(root_path, program_checks=program_checks))
             continue
         for dirpath, dirnames, filenames in os.walk(root_path):
             dirnames[:] = [
@@ -750,7 +825,12 @@ def lint_paths(paths: Iterable[str]) -> list[Finding]:
             ]
             for filename in sorted(filenames):
                 if filename.endswith(".py"):
-                    findings.extend(lint_file(os.path.join(dirpath, filename)))
+                    findings.extend(
+                        lint_file(
+                            os.path.join(dirpath, filename),
+                            program_checks=program_checks,
+                        )
+                    )
     findings.sort(key=lambda f: (f.path, f.line, f.code))
     return findings
 

@@ -1,0 +1,68 @@
+"""ALP121: interference checking for ``compatible=`` entry groups.
+
+``compatible="group"`` on two entries is a claim that their bodies may
+run truly concurrently under a multiactive manager (the ROADMAP item
+this check unblocks).  The claim is only safe if the bodies cannot race
+on object state, so for every pair of entries sharing a group we compare
+their inferred effect sets (:mod:`.effects`): a write/write or
+read/write overlap on any ``self.*`` attribute is reported as ALP121,
+naming the group, the pair, and the conflicting attributes.
+
+Entries whose ``compatible=`` annotation was syntactically unresolvable
+(``compatible=GROUPS``) are skipped — consistent with the linter's
+never-guess policy — and a group with a single member is trivially
+interference-free.
+"""
+
+from __future__ import annotations
+
+from ..findings import Finding
+from ..model import UNKNOWN, ObjectInfo
+from .effects import object_effects
+
+
+def check_interference(obj: ObjectInfo) -> list[Finding]:
+    """ALP121 findings for every interfering compatible pair of *obj*."""
+    groups: dict[str, list[str]] = {}
+    for name in sorted(obj.entries):
+        compatible = obj.entries[name].compatible
+        if compatible is UNKNOWN or not compatible:
+            continue
+        for group in compatible:
+            groups.setdefault(group, []).append(name)
+
+    if not any(len(members) > 1 for members in groups.values()):
+        return []
+
+    effects = object_effects(obj)
+    findings: list[Finding] = []
+    reported: set[tuple[str, str, str]] = set()
+    for group in sorted(groups):
+        members = groups[group]
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                key = (group, a, b)
+                if key in reported:
+                    continue
+                conflict = effects[a].conflicts(effects[b])
+                if not conflict:
+                    continue
+                reported.add(key)
+                attrs = ", ".join(f"self.{attr}" for attr in sorted(conflict))
+                info = obj.entries[a]
+                findings.append(
+                    Finding(
+                        code="ALP121",
+                        message=(
+                            f"entries {a!r} and {b!r} are declared "
+                            f"compatible (group {group!r}) but interfere "
+                            f"on {attrs} ({a}: {effects[a].describe()}; "
+                            f"{b}: {effects[b].describe()})"
+                        ),
+                        path=obj.path,
+                        line=info.line,
+                        obj=obj.name,
+                        entry=a,
+                    )
+                )
+    return findings

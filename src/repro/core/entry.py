@@ -44,6 +44,24 @@ def icpt(params: int = 0, results: int = 0) -> Intercept:
     return Intercept(params=params, results=results)
 
 
+def _normalize_compatible(
+    name: str, compatible: str | tuple[str, ...] | list[str] | None
+) -> tuple[str, ...]:
+    """Validate a ``compatible=`` annotation into a tuple of group names."""
+    if compatible is None:
+        return ()
+    if isinstance(compatible, str):
+        compatible = (compatible,)
+    if not isinstance(compatible, (tuple, list)) or not all(
+        isinstance(g, str) and g for g in compatible
+    ):
+        raise ObjectModelError(
+            f"entry {name!r}: compatible= must be a group name or a "
+            f"tuple of group names, got {compatible!r}"
+        )
+    return tuple(dict.fromkeys(compatible))
+
+
 class EntrySpec:
     """Static description of one entry (or local) procedure."""
 
@@ -56,6 +74,7 @@ class EntrySpec:
         hidden_results: int = 0,
         exported: bool = True,
         work: int = 0,
+        compatible: str | tuple[str, ...] | list[str] | None = None,
     ) -> None:
         self.fn = fn
         self.name = fn.__name__
@@ -65,6 +84,13 @@ class EntrySpec:
         self.array = array
         self.hidden_params = hidden_params
         self.hidden_results = hidden_results
+        #: Compatibility groups (multiactive-manager annotation surface):
+        #: entries sharing a group name declare that their bodies may run
+        #: truly concurrently under a future multiactive manager.  Purely
+        #: declarative today — no scheduling change — but the whole-program
+        #: interference checker (ALP121) statically verifies that entries
+        #: declared compatible touch disjoint object attributes.
+        self.compatible: tuple[str, ...] = _normalize_compatible(fn.__name__, compatible)
         #: Local procedures (§2.3 "intercept even local procedures") are
         #: not callable from outside the object.
         self.exported = exported
@@ -164,6 +190,7 @@ def entry(
     hidden_params: int = 0,
     hidden_results: int = 0,
     work: int = 0,
+    compatible: str | tuple[str, ...] | list[str] | None = None,
 ) -> Any:
     """Declare an exported entry procedure (usable bare or with arguments)."""
 
@@ -176,6 +203,7 @@ def entry(
             hidden_results=hidden_results,
             exported=True,
             work=work,
+            compatible=compatible,
         )
 
     return wrap(fn) if fn is not None else wrap
@@ -189,6 +217,7 @@ def local(
     hidden_params: int = 0,
     hidden_results: int = 0,
     work: int = 0,
+    compatible: str | tuple[str, ...] | list[str] | None = None,
 ) -> Any:
     """Declare a local procedure (interceptable but not exported, §2.3)."""
 
@@ -201,6 +230,7 @@ def local(
             hidden_results=hidden_results,
             exported=False,
             work=work,
+            compatible=compatible,
         )
 
     return wrap(fn) if fn is not None else wrap

@@ -84,6 +84,10 @@ class ServerPool:
             self.capacity = config.size
         self._busy = 0
         self._backlog: deque[tuple[Callable[[], Any], "Call"]] = deque()
+        #: Calls currently holding a worker, in dispatch order — the
+        #: wait-for graph names them when backlogged callers queue behind
+        #: a saturated pool.
+        self.active: list["Call"] = []
         #: Lifetime counters for benchmarks.
         self.dispatched = 0
         self.queued_starts = 0
@@ -121,6 +125,7 @@ class ServerPool:
 
     def _run(self, job: Callable[[], Any], call: "Call") -> None:
         call.dispatched_at = self.kernel.clock.now
+        self.active.append(call)
         self._busy += 1
         self.max_busy = max(self.max_busy, self._busy)
         self.dispatched += 1
@@ -164,14 +169,23 @@ class ServerPool:
     def release(self, call: "Call") -> None:
         """The call finished; free its worker and start a queued job."""
         self._busy -= 1
+        try:
+            self.active.remove(call)
+        except ValueError:
+            pass  # crash recovery may have reset the roster already
         if self._backlog and (self.capacity is None or self._busy < self.capacity):
             job, queued_call = self._backlog.popleft()
             self._run(job, queued_call)
+
+    def queued_calls(self) -> list["Call"]:
+        """Calls backlogged behind a saturated pool, FIFO order."""
+        return [call for _job, call in self._backlog]
 
     def reset(self) -> None:
         """Drop all busy/queued state (crash recovery)."""
         self._busy = 0
         self._backlog.clear()
+        self.active.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

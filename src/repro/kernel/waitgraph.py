@@ -326,6 +326,15 @@ def _call_target_edges(proc: Process, call: Any) -> Iterable[WaitEdge]:
                 entry=call.entry,
                 slot=call.slot,
             )
+        else:
+            # Started but no worker assigned: the body job is backlogged
+            # behind a saturated server pool, so the caller waits on
+            # every call holding a worker (without these edges a
+            # recursion through a bounded pool deadlocks without the
+            # graph ever closing the cycle).
+            yield from _pool_backlog_edges(
+                proc, call, label, definite, obj_name
+            )
         return
 
     if call.state in (CallState.ATTACHED, CallState.ACCEPTED):
@@ -368,6 +377,28 @@ def _call_target_edges(proc: Process, call: Any) -> Iterable[WaitEdge]:
                     entry=call.entry,
                     slot=held.slot,
                 )
+        yield from _pool_backlog_edges(proc, call, label, definite, obj_name)
+
+
+def _pool_backlog_edges(
+    proc: Process, call: Any, label: str, definite: bool, obj_name: str
+) -> Iterable[WaitEdge]:
+    """Edges for a call whose body job queues behind a saturated pool."""
+    pool = getattr(call.obj, "_pool", None)
+    if pool is None or not any(c is call for c in pool.queued_calls()):
+        return
+    for held in pool.active:
+        body = held.body_process
+        if body is not None and body.alive:
+            yield WaitEdge(
+                proc,
+                body,
+                f"{label} (worker held by call #{held.call_id})",
+                definite,
+                obj=obj_name,
+                entry=call.entry,
+                slot=held.slot,
+            )
 
 
 def build_wait_graph(kernel: "Kernel") -> WaitForSnapshot:

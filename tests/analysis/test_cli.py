@@ -65,9 +65,19 @@ class TestMain:
         assert main(["--ignore", "ALP111", bad_file]) == 1
         capsys.readouterr()
 
-    def test_unknown_code_rejected(self, bad_file):
-        with pytest.raises(SystemExit):
-            main(["--select", "ALP999", bad_file])
+    def test_unknown_code_exits_two_listing_valid(self, bad_file, capsys):
+        assert main(["--select", "ALP999", bad_file]) == 2
+        err = capsys.readouterr().err
+        assert "unknown code(s): ALP999" in err
+        # The error enumerates every valid code so the user can correct
+        # the invocation without opening the docs.
+        assert "valid codes:" in err
+        for code in ("ALP101", "ALP114", "ALP120", "ALP121"):
+            assert code in err
+
+    def test_unknown_ignore_code_exits_two(self, bad_file, capsys):
+        assert main(["--ignore", "ALP000,ALP101", bad_file]) == 2
+        assert "ALP000" in capsys.readouterr().err
 
     def test_no_paths_is_usage_error(self, capsys):
         assert main([]) == 2
@@ -86,6 +96,124 @@ class TestMain:
         assert main(["--list-checks"]) == 0
         out = capsys.readouterr().out
         assert "ALP101" in out and "ALP201" in out
+        assert "ALP120" in out and "ALP121" in out
+
+
+CYCLIC_SOURCE = """\
+class A:
+    @entry
+    def p(self):
+        yield self.peer.q()
+
+    @manager_process(intercepts=["p"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("p")
+            yield from self.execute(call)
+
+
+class B:
+    @entry
+    def q(self):
+        yield self.peer.p()
+
+    @manager_process(intercepts=["q"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("q")
+            yield from self.execute(call)
+
+
+def build(kernel):
+    a = A(kernel)
+    b = B(kernel)
+    a.peer = b
+    b.peer = a
+"""
+
+
+@pytest.fixture
+def cyclic_tree(tmp_path):
+    (tmp_path / "cyc.py").write_text(CYCLIC_SOURCE, encoding="utf-8")
+    return tmp_path
+
+
+class TestWholeProgram:
+    def test_cycle_exits_one(self, cyclic_tree, capsys):
+        assert main(["--whole-program", str(cyclic_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "ALP120" in out
+        assert "predicted wait-for cycle" in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        assert main(["--whole-program", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_dot_export_on_stdout(self, cyclic_tree, capsys):
+        # DOT goes to stdout, so findings text is suppressed — but the
+        # exit code still reports the predicted cycle.
+        assert main(["--whole-program", "--dot", str(cyclic_tree)]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "ALP120" not in out
+        assert "red" in out  # cycle edges highlighted
+
+    def test_dot_export_to_file(self, cyclic_tree, tmp_path, capsys):
+        target = tmp_path / "graph.dot"
+        code = main(
+            ["--whole-program", "--dot", str(cyclic_tree), "-o", str(target)]
+        )
+        assert code == 1
+        assert target.read_text(encoding="utf-8").startswith("digraph")
+        # Findings still print when DOT went to a file.
+        assert "ALP120" in capsys.readouterr().out
+
+    def test_bare_dot_without_whole_program_is_usage_error(self, capsys):
+        assert main(["--dot"]) == 2
+        assert "--whole-program" in capsys.readouterr().err
+
+    def test_select_filters_whole_program_findings(self, cyclic_tree, capsys):
+        assert main(["--whole-program", "--ignore", "ALP120", str(cyclic_tree)]) == 0
+        capsys.readouterr()
+
+
+class TestSarif:
+    def test_sarif_written_alongside_text(self, bad_file, tmp_path, capsys):
+        target = tmp_path / "out.sarif"
+        assert main(["--sarif", str(target), bad_file]) == 1
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "alpslint"
+        results = run["results"]
+        assert any(r["ruleId"] == "ALP101" for r in results)
+        loc = results[0]["locations"][0]["physicalLocation"]
+        assert loc["region"]["startLine"] >= 1
+        assert loc["region"]["startColumn"] >= 1  # SARIF is 1-based
+        # Rule metadata only for codes actually reported.
+        rules = run["tool"]["driver"]["rules"]
+        assert {r["id"] for r in rules} == {r["ruleId"] for r in results}
+        # Normal text output still printed.
+        assert "ALP101" in capsys.readouterr().out
+
+    def test_sarif_with_whole_program(self, cyclic_tree, tmp_path, capsys):
+        target = tmp_path / "wp.sarif"
+        assert main(
+            ["--whole-program", "--sarif", str(target), str(cyclic_tree)]
+        ) == 1
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        results = payload["runs"][0]["results"]
+        assert any(r["ruleId"] == "ALP120" for r in results)
+        capsys.readouterr()
+
+    def test_clean_sarif_has_empty_results(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        target = tmp_path / "clean.sarif"
+        assert main(["--sarif", str(target), str(tmp_path / "ok.py")]) == 0
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["runs"][0]["results"] == []
+        capsys.readouterr()
 
 
 class TestLaunchers:

@@ -434,15 +434,72 @@ class TestUnboundedRetry:
         )
         assert findings == []
 
-    def test_variable_held_policy_stays_silent(self):
-        # Conservative direction: a policy bound elsewhere may be safe;
-        # the linter only judges what it can see inline.
+    def test_variable_held_policy_flagged(self):
+        # Scope-aware: the unbounded policy is bound at module level and
+        # the retry site in the nested scope sees the binding.
         findings = self.lint_retry(
             """
             POLICY = FixedBackoff(delay=5, max_attempts=None)
 
             def run(build):
                 yield from retry(build, POLICY)
+            """
+        )
+        assert codes(findings) == {"ALP114"}
+        assert "'POLICY'" in findings[0].message
+
+    def test_rebound_policy_clean(self):
+        # Reassignment to a bounded constructor clears the binding.
+        findings = self.lint_retry(
+            """
+            def run(build):
+                policy = FixedBackoff(delay=5, max_attempts=None)
+                policy = FixedBackoff(delay=5, max_attempts=3)
+                yield from retry(build, policy)
+            """
+        )
+        assert findings == []
+
+    def test_method_site_variable_policy_flagged(self):
+        findings = self.lint_retry(
+            """
+            class Reader:
+                def read(self, build):
+                    policy = ExponentialBackoff(base=2, max_attempts=None)
+                    yield from retry(build, policy)
+            """
+        )
+        assert codes(findings) == {"ALP114"}
+
+    def test_nested_shadowing_is_local(self):
+        # The inner bounded rebinding must not leak to the outer scope's
+        # later retry site, and the outer binding still reaches it.
+        findings = self.lint_retry(
+            """
+            def outer(build):
+                policy = FixedBackoff(delay=5, max_attempts=None)
+
+                def inner():
+                    policy = FixedBackoff(delay=5, max_attempts=2)
+                    yield from retry(build, policy)
+
+                yield from retry(build, policy)
+            """
+        )
+        assert codes(findings) == {"ALP114"}
+        assert len(findings) == 1
+
+    def test_unknown_binding_stays_silent(self):
+        # A policy that arrives as a parameter or from a helper may be
+        # bounded elsewhere; the linter does not guess.
+        findings = self.lint_retry(
+            """
+            def run(build, policy):
+                yield from retry(build, policy)
+
+            def run2(build):
+                policy = make_policy()
+                yield from retry(build, policy)
             """
         )
         assert findings == []

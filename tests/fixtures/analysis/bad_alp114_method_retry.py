@@ -1,0 +1,20 @@
+# expect: ALP114
+# The retry site lives in a class method and the unbounded policy is
+# held in a local variable rather than written inline — the scope-aware
+# check tracks the binding from the assignment to the call site.
+from repro.faults import ExponentialBackoff, retry
+
+
+class ReplicaReader:
+    def __init__(self, kernel, store):
+        self.kernel = kernel
+        self.store = store
+
+    def read(self, key):
+        policy = ExponentialBackoff(base=2, max_delay=400, max_attempts=None)
+
+        def build():
+            return self.store.get(key, timeout=50)
+
+        value = yield from retry(build, policy)
+        return value

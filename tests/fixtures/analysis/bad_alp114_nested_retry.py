@@ -1,0 +1,18 @@
+# expect: ALP114
+# The retry site sits in a function nested two scopes down, and the
+# unbounded policy is bound in the *enclosing* scope — nested functions
+# inherit the lexical environment, so the check still sees it.
+from repro.faults import FixedBackoff, retry
+
+
+def make_poller(kernel, store):
+    policy = FixedBackoff(delay=20, max_attempts=None)
+
+    def poller(key):
+        def build():
+            return store.get(key, timeout=50)
+
+        value = yield from retry(build, policy)
+        return value
+
+    return poller

@@ -1,0 +1,42 @@
+# expect: ALP120
+# Two managed objects wired to call each other through monitor-style
+# managers (accept; execute).  A call to Ping.poke runs Ping's body,
+# which calls Pong.bounce — but Pong.bounce calls back into Ping.poke,
+# whose manager is blocked executing the first call: a classic
+# inter-manager wait cycle.  Each class alone passes ALP101-ALP113; the
+# defect only exists in the whole-program call graph.
+from repro.core import AlpsObject, entry, manager_process
+
+
+class Ping(AlpsObject):
+    @entry(returns=1)
+    def poke(self):
+        value = yield self.peer.bounce()
+        return value + 1
+
+    @manager_process(intercepts=["poke"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("poke")
+            yield from self.execute(call)
+
+
+class Pong(AlpsObject):
+    @entry(returns=1)
+    def bounce(self):
+        value = yield self.peer.poke()
+        return value + 1
+
+    @manager_process(intercepts=["bounce"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("bounce")
+            yield from self.execute(call)
+
+
+def build(kernel):
+    ping = Ping(kernel)
+    pong = Pong(kernel)
+    ping.peer = pong
+    pong.peer = ping
+    return ping, pong

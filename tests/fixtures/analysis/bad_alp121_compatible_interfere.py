@@ -1,0 +1,30 @@
+# expect: ALP121
+# Both entries claim membership of the compatibility group "stats" —
+# a promise that a multiactive manager may run their bodies truly
+# concurrently — but record() writes self.total and self.count while
+# mean() reads both: a read/write race on object state.  The effect
+# sets overlap, so the compatibility claim is unsound.
+from repro.core import AlpsObject, entry, manager_process
+
+
+class RunningMean(AlpsObject):
+    def setup(self, **config):
+        self.total = 0
+        self.count = 0
+
+    @entry(compatible="stats")
+    def record(self, value):
+        self.total += value
+        self.count += 1
+
+    @entry(returns=1, compatible="stats")
+    def mean(self):
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    @manager_process(intercepts=["record", "mean"])
+    def mgr(self):
+        while True:
+            call = yield self.accept()
+            yield from self.execute(call)

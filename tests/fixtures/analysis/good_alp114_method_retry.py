@@ -1,0 +1,30 @@
+# Method-position retry sites that are storm-safe: the variable-held
+# policy is rebound to a bounded one before the call, and the second
+# site passes a budget with its unbounded policy.  Clean.
+from repro.faults import ExponentialBackoff, FixedBackoff, retry, shared_budget
+
+
+class ReplicaReader:
+    def __init__(self, kernel, store):
+        self.kernel = kernel
+        self.store = store
+
+    def read_bounded(self, key):
+        policy = ExponentialBackoff(base=2, max_attempts=None)
+        policy = FixedBackoff(delay=20, max_attempts=5)
+
+        def build():
+            return self.store.get(key, timeout=50)
+
+        value = yield from retry(build, policy)
+        return value
+
+    def read_budgeted(self, key):
+        policy = ExponentialBackoff(base=2, max_attempts=None)
+        budget = shared_budget(self.kernel, "reader", self.store)
+
+        def build():
+            return self.store.get(key, timeout=50)
+
+        value = yield from retry(build, policy, budget=budget)
+        return value

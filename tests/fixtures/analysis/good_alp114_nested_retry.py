@@ -1,0 +1,19 @@
+# Nested-function retry sites that are storm-safe: the inner scope
+# shadows the enclosing unbounded policy with a bounded one, so the
+# binding the call site sees is finite.  Clean.
+from repro.faults import ExponentialBackoff, FixedBackoff, retry
+
+
+def make_poller(kernel, store):
+    policy = ExponentialBackoff(base=2, max_attempts=None)
+
+    def poller(key):
+        policy = FixedBackoff(delay=20, max_attempts=4)
+
+        def build():
+            return store.get(key, timeout=50)
+
+        value = yield from retry(build, policy)
+        return value
+
+    return poller

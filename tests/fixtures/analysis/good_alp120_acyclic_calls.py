@@ -1,0 +1,36 @@
+# The same two-object shape with the call chain running one way only:
+# Front.serve calls Back.fetch, Back.fetch calls nobody.  The call
+# graph is acyclic and the managers stay receptive-safe; no predicted
+# cycle.  Clean.
+from repro.core import AlpsObject, entry, manager_process
+
+
+class Back(AlpsObject):
+    @entry(returns=1)
+    def fetch(self):
+        return len(self.rows)
+
+    @manager_process(intercepts=["fetch"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("fetch")
+            yield from self.execute(call)
+
+
+class Front(AlpsObject):
+    @entry(returns=1)
+    def serve(self):
+        count = yield self.backend.fetch()
+        return count
+
+    @manager_process(intercepts=["serve"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("serve")
+            yield from self.execute(call)
+
+
+def build(kernel):
+    back = Back(kernel, rows=[1, 2, 3])
+    front = Front(kernel, backend=back)
+    return front, back

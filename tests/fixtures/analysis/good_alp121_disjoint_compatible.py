@@ -1,0 +1,33 @@
+# Entries in the same compatibility group touching disjoint attribute
+# sets: ingest_left writes only self.left, ingest_right only
+# self.right, and drain (the serial entry) is in no group at all.
+# Concurrent bodies cannot race, so the compatible= claim holds.
+# Clean.
+from repro.core import AlpsObject, entry, manager_process
+
+
+class SplitLedger(AlpsObject):
+    def setup(self, **config):
+        self.left = []
+        self.right = []
+
+    @entry(compatible="ingest")
+    def ingest_left(self, item):
+        self.left.append(item)
+
+    @entry(compatible="ingest")
+    def ingest_right(self, item):
+        self.right.append(item)
+
+    @entry(returns=1)
+    def drain(self):
+        items = self.left + self.right
+        self.left = []
+        self.right = []
+        return items
+
+    @manager_process(intercepts=["ingest_left", "ingest_right", "drain"])
+    def mgr(self):
+        while True:
+            call = yield self.accept()
+            yield from self.execute(call)

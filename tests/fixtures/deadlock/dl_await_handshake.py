@@ -1,0 +1,43 @@
+# Deadlock fixture: a manager that starts the body asynchronously but
+# then parks in a bare await_ — a one-guard select with no accept, so it
+# is *not* receptive while the body runs.  The body calls into Lock,
+# whose body calls back into Gate.enter; that second call queues behind
+# the non-receptive manager and the handshake never completes.
+from repro.core import AlpsObject, Finish, Start, entry, manager_process
+
+
+class Gate(AlpsObject):
+    @entry(returns=1)
+    def enter(self):
+        token = yield self.lock.acquire()
+        return token
+
+    @manager_process(intercepts=["enter"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("enter")
+            yield Start(call)
+            done = yield self.await_("enter", call=call)  # non-receptive
+            yield Finish(done)
+
+
+class Lock(AlpsObject):
+    @entry(returns=1)
+    def acquire(self):
+        token = yield self.gate.enter()  # re-enters the parked manager
+        return token
+
+    @manager_process(intercepts=["acquire"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("acquire")
+            yield from self.execute(call)
+
+
+def build(kernel):
+    gate = Gate(kernel)
+    lock = Lock(kernel)
+    gate.lock = lock
+    lock.gate = gate
+    kernel.spawn(lambda: (yield gate.enter()), name="client")
+    return gate, lock

@@ -1,0 +1,44 @@
+# Deadlock fixture: each manager performs a *direct* entry call into its
+# peer before finishing the call it accepted.  Left's manager blocks
+# awaiting Right's accept while Right's manager blocks awaiting Left's:
+# a two-manager cycle with no body in the loop (the shape the
+# wait-for-graph tests call Alpha/Beta, here with default names so the
+# runtime labels match the class names).
+from repro.core import AlpsObject, entry, manager_process
+
+
+class Left(AlpsObject):
+    @entry(returns=1)
+    def ask(self):
+        return "left"
+
+    @entry
+    def nudge(self):
+        pass
+
+    @manager_process(intercepts=["ask", "nudge"])
+    def mgr(self):
+        call = yield self.accept("ask")
+        yield self.peer.answer()  # blocks on Right's manager
+        yield from self.execute(call)
+
+
+class Right(AlpsObject):
+    @entry(returns=1)
+    def answer(self):
+        return "right"
+
+    @manager_process(intercepts=["answer"])
+    def mgr(self):
+        call = yield self.accept("answer")
+        yield self.peer.nudge()  # blocks back on Left's manager: cycle
+        yield from self.execute(call)
+
+
+def build(kernel):
+    left = Left(kernel)
+    right = Right(kernel)
+    left.peer = right
+    right.peer = left
+    kernel.spawn(lambda: (yield left.ask()), name="client")
+    return left, right

@@ -1,0 +1,46 @@
+# Deadlock fixture: monitor-style managers whose bodies call each other.
+# Ping.poke runs under an inline execute (the manager is non-receptive
+# until the body finishes) and calls Pong.bounce, whose body calls back
+# into Ping.poke — the second call queues behind the blocked manager and
+# every participant waits forever.
+#
+# Contract: build(kernel) wires the objects (default names, so the
+# runtime obj labels equal the class names) and spawns the client(s);
+# kernel.run() must raise DeadlockError with at least one cycle, and the
+# whole-program analyzer must predict that cycle statically (ALP120).
+from repro.core import AlpsObject, entry, manager_process
+
+
+class Ping(AlpsObject):
+    @entry(returns=1)
+    def poke(self):
+        value = yield self.peer.bounce()
+        return value + 1
+
+    @manager_process(intercepts=["poke"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("poke")
+            yield from self.execute(call)
+
+
+class Pong(AlpsObject):
+    @entry(returns=1)
+    def bounce(self):
+        value = yield self.peer.poke()
+        return value + 1
+
+    @manager_process(intercepts=["bounce"])
+    def mgr(self):
+        while True:
+            call = yield self.accept("bounce")
+            yield from self.execute(call)
+
+
+def build(kernel):
+    ping = Ping(kernel)
+    pong = Pong(kernel)
+    ping.peer = pong
+    pong.peer = ping
+    kernel.spawn(lambda: (yield ping.poke()), name="client")
+    return ping, pong

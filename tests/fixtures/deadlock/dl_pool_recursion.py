@@ -1,0 +1,30 @@
+# Deadlock fixture: unmanaged objects with single-slot hidden procedure
+# arrays and per-slot server pools calling each other.  Fwd.hop occupies
+# its only slot and calls Back.ricochet, which calls Fwd.hop again — the
+# recursive call queues for the slot its own ancestor holds:
+# pool-exhaustion deadlock with no manager anywhere in the loop.
+from repro.core import AlpsObject, entry
+from repro.core.pool import PoolConfig
+
+
+class Fwd(AlpsObject):
+    @entry(returns=1)
+    def hop(self):
+        value = yield self.peer.ricochet()
+        return value
+
+
+class Back(AlpsObject):
+    @entry(returns=1)
+    def ricochet(self):
+        value = yield self.peer.hop()  # needs Fwd.hop's only slot
+        return value
+
+
+def build(kernel):
+    fwd = Fwd(kernel, pool=PoolConfig("per-slot"))
+    back = Back(kernel, pool=PoolConfig("per-slot"))
+    fwd.peer = back
+    back.peer = fwd
+    kernel.spawn(lambda: (yield fwd.hop()), name="client")
+    return fwd, back

@@ -23,11 +23,23 @@ The engine's offered load is provably identical across cells that share
 an arrival process: the request schedule is fixed before the kernel
 runs, so mechanism and admission policy can only change *outcomes*,
 never *arrivals*.
+
+Every cell also runs with the **live telemetry plane** attached
+(:mod:`repro.obs.live`): a latency window, goodput/load rates, an SLO
+burn-rate monitor, and a heavy-hitter sketch of the touched keys.  The
+plane is schedule-neutral by contract — asserted below by re-running a
+cell without it — so the table gains ``alerts`` (burn-rate transitions
+fired) and ``hot_key`` (the dominant guaranteed-share key, KV cells)
+columns at zero perturbation.  The traced re-run streams dashboard
+snapshots to ``LIVE_E14.jsonl`` and renders ``DASHBOARD_E14.txt``; CI
+replays the JSONL through ``python -m repro.obs.live`` and ``cmp``s the
+two dashboards byte for byte.
 """
 
 from __future__ import annotations
 
 from repro.kernel import Kernel
+from repro.obs import JsonlSink
 from repro.stdlib import BoundedBuffer, GatedKVStore, Spooler
 from repro.workloads import (
     Bursty,
@@ -37,9 +49,10 @@ from repro.workloads import (
     Zipf,
     find_knee,
     summarize,
+    watch_traffic,
 )
 
-from harness import attach_chrome_trace, print_table, write_results
+from harness import artifact_path, attach_chrome_trace, print_table, write_results
 
 SEED = 11
 COUNT = 240          # requests per cell
@@ -98,7 +111,15 @@ def make_target(kind: str, kernel: Kernel):
     return kv, request
 
 
-def drive(obj_kind: str, arrival_kind: str, gap: int, trace: bool = False) -> dict:
+#: Live-plane SLO config for every cell: 90% of requests served OK,
+#: alert at 2x budget burn on both windows, clear below 1x.
+LIVE_OBJECTIVE = 0.9
+LIVE_FAST = 600
+LIVE_SLOW = 3000
+
+
+def drive(obj_kind: str, arrival_kind: str, gap: int, trace: bool = False,
+          live: bool = True) -> dict:
     kernel = Kernel(seed=SEED)
     if trace:
         attach_chrome_trace(kernel, "e14")
@@ -113,12 +134,48 @@ def drive(obj_kind: str, arrival_kind: str, gap: int, trace: bool = False) -> di
         clients=CLIENTS,
         seed=SEED,
     )
+    plane = None
+    capture = None
+    if live:
+        plane = kernel.obs.live
+        if trace:
+            from repro.obs import MemorySink
+
+            kernel.obs.add_sink(
+                JsonlSink(artifact_path("LIVE_E14.jsonl")), forward_trace=False
+            )
+            # In-memory capture of the same instants: DASHBOARD_E14.txt
+            # renders from these dicts, CI re-renders from the JSONL via
+            # the CLI and cmp's the two — byte identity across the
+            # serialization boundary.
+            capture = kernel.obs.add_sink(MemorySink(), forward_trace=False)
+            plane.stream_snapshots(every=2)
+        watch_traffic(
+            plane, engine, objective=LIVE_OBJECTIVE, window=1200,
+            fast=LIVE_FAST, slow=LIVE_SLOW,
+            key=(lambda o: KV_KEYS[o.request.index]) if obj_kind == "kv"
+            else None,
+        )
     result = engine.run()
     if trace:
+        if plane is not None:
+            from repro.obs.live.dashboard import render
+
+            snapshots = [r["detail"] for r in capture.records
+                         if r.get("kind") == "live.snapshot"]
+            with open(artifact_path("DASHBOARD_E14.txt"), "w",
+                      encoding="utf-8") as fh:
+                fh.write(render(snapshots[-1]))
+            plane.write_alert_log(artifact_path("ALERTS_E14.jsonl"))
         kernel.obs.close()
     report = summarize(result)
     row = {"object": obj_kind, "arrival": arrival_kind, "mean_gap": gap}
     row.update(report.to_row())
+    if plane is not None:
+        monitor = plane.monitors["traffic.traffic.slo"]
+        row["alerts"] = sum(1 for e in monitor.events if e.state == "firing")
+        hot = plane.hot_keys("traffic.traffic.callers").candidates(0.15)
+        row["hot_key"] = hot[0] if (hot and obj_kind == "kv") else ""
     return row
 
 
@@ -184,12 +241,28 @@ def test_e14_table(benchmark, capsys):
             assert sum(1 for r in curve if r["knee"]) == 1
 
     # Observation is schedule-neutral for the engine: re-running one cell
-    # with the span recorder and Chrome sink attached (TRACE_E14.json)
+    # with the span recorder, Chrome sink, and live-plane snapshot stream
+    # attached (TRACE_E14.json, LIVE_E14.jsonl, DASHBOARD_E14.txt)
     # reproduces the measured row exactly — no virtual timestamp moves.
     probe = dict(cell_row(rows, "kv", "poisson", 3))
     probe.pop("knee")
     traced = drive("kv", "poisson", 3, trace=True)
     assert traced == probe, "span recording changed an E14 cell"
+
+    # And the live plane itself is schedule-neutral: the same cell with
+    # no plane at all yields identical traffic numbers (the live columns
+    # are the only difference).
+    bare = drive("kv", "poisson", 3, live=False)
+    assert bare == {
+        k: v for k, v in probe.items() if k not in ("alerts", "hot_key")
+    }, "live telemetry plane changed an E14 cell"
+
+    # The burn-rate monitors saw the overload the knees report: at least
+    # one saturated KV cell fired an alert, and the Zipf skew surfaced a
+    # guaranteed-hot key for the resharder.
+    kv_rows = [r for r in rows if r["object"] == "kv"]
+    assert any(r["alerts"] > 0 for r in kv_rows)
+    assert any(r["hot_key"] for r in kv_rows)
 
 
 def test_e14_traffic_speed(benchmark):

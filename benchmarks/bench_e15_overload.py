@@ -40,7 +40,7 @@ from repro.faults import (
 from repro.kernel import Kernel
 from repro.net import ring
 from repro.stdlib import GatedKVStore
-from repro.workloads import TrafficEngine, Uniform, find_knee
+from repro.workloads import TrafficEngine, Uniform, find_knee, watch_traffic
 
 from harness import attach_chrome_trace, print_table, write_results
 
@@ -63,6 +63,11 @@ SETTLE = 100         # ticks after heal before the recovery phase is judged
 GAPS = (48, 36, 30, 26, 22, 17, 13)
 #: Same eager policy for both configs: the *guards* differ, not the zeal.
 POLICY = FixedBackoff(delay=20, max_attempts=6)
+#: Live-plane SLO on the crash-and-heal rows: 90% of requests ok, alert
+#: at 2x budget burn on a fast (400 tick) and slow (2000 tick) window.
+LIVE_OBJECTIVE = 0.9
+LIVE_FAST = 400
+LIVE_SLOW = 2000
 
 
 def make_engine(config: str, kernel, gap: int):
@@ -164,6 +169,14 @@ def storm_drive(config: str, gap: int, trace: bool = False) -> dict:
     if trace:
         attach_chrome_trace(kernel, "e15")
     engine, store, net = make_engine(config, kernel, gap)
+    # Live burn-rate watch on the crash window: the outage must show up
+    # as alert transitions in the deterministic alert log (checked
+    # below), at zero schedule perturbation.
+    plane = kernel.obs.live
+    watch_traffic(
+        plane, engine, objective=LIVE_OBJECTIVE,
+        fast=LIVE_FAST, slow=LIVE_SLOW,
+    )
     install(
         kernel,
         net,
@@ -205,6 +218,10 @@ def storm_drive(config: str, gap: int, trace: bool = False) -> dict:
         "breaker_transitions": int(kernel.metrics.value("breaker.transitions")),
         "lost_acked": lost_acked(result, store),
         "conservation_violations": violations,
+        "alerts": sum(
+            1 for e in plane.monitors["traffic.e15.slo"].events
+            if e.state == "firing"
+        ),
     }
     transitions = list(engine.breaker.transitions) if engine.breaker else []
     return row, engine.offered_records(), transitions
@@ -292,6 +309,12 @@ def test_e15_overload(benchmark, capsys):
     # collapse, while budget+deadline+breaker recover past 80% of knee.
     assert storm["post_goodput"] < 0.5 * knee_goodput, storm
     assert guarded["post_goodput"] >= 0.8 * knee_goodput, guarded
+
+    # The live burn-rate monitor saw the outage in both configs: the SLO
+    # budget burn crossed threshold on the fast and slow windows and the
+    # (deterministic, replay-identical) alert log recorded the firing.
+    assert storm["alerts"] >= 1, storm
+    assert guarded["alerts"] >= 1, guarded
 
     # The guarded stack actually exercised its machinery.
     assert guarded["breaker_transitions"] >= 3, guarded  # open, probe, close

@@ -76,6 +76,12 @@ def write_results(
     return path
 
 
+def artifact_path(filename: str, out_dir: str | None = None) -> str:
+    """Where a bench artifact lands (honours ``REPRO_BENCH_DIR``)."""
+    out_dir = out_dir or os.environ.get("REPRO_BENCH_DIR") or "."
+    return os.path.join(out_dir, filename)
+
+
 def metrics_snapshot(kernel) -> dict[str, Any]:
     """One merged metrics dict: kernel counters plus the typed registry.
 

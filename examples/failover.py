@@ -104,12 +104,12 @@ def main():
           "acknowledged:", rep.view.version)
     datas = [replica.data for replica in rep.replicas()]
     print("replicas converged:", datas[0] == datas[1] == datas[2])
-    stats = kernel.stats.custom
-    for key in ("replicated_reads", "replicated_writes", "replication_failovers",
-                "replication_promotions", "replication_rejoins",
-                "replication_catchup_writes", "requeued_calls",
-                "supervisor_restarts", "dropped_requests"):
-        print(f"  {key:26} {stats.get(key, 0)}")
+    for name in ("replication.reads", "replication.writes",
+                 "replication.failovers", "replication.promotions",
+                 "replication.rejoins", "replication.catchup_writes",
+                 "faults.requeued_calls", "supervisor.restarts",
+                 "faults.dropped_requests"):
+        print(f"  {name:28} {kernel.metrics.value(name)}")
 
 
 if __name__ == "__main__":

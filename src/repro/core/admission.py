@@ -208,6 +208,13 @@ class PredictedWaitGuard(ShedGuard):
     Until the first body completes there is no service-time estimate and
     the guard stays quiet (never ready): admission decisions are only
     made from measured evidence, so an idle object admits everything.
+
+    The estimate is the entry's shared
+    :class:`~repro.obs.live.stream.Ewma`
+    (:attr:`~repro.core.runtime.EntryRuntime.service_estimator`) — the
+    same object the live telemetry plane exposes through
+    :meth:`repro.obs.live.LivePlane.service_ewma`, so dashboards show
+    exactly the number admission control acts on.
     """
 
     reason = "predicted-wait"

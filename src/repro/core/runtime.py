@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from ..errors import CallError, ProtocolError
 from ..kernel.waiting import Waitable
+from ..obs.live.stream import Ewma
 from .calls import Call, CallState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -51,9 +52,19 @@ class EntryRuntime:
         self.completed: list[Call] = []
         self.record_calls = False
         #: EWMA of observed body service times (dispatch → body done), in
-        #: ticks; None until the first body completes.  Deterministic:
-        #: updated only from virtual timestamps, in completion order.
-        self.service_ewma: float | None = None
+        #: ticks; ``.value`` is None until the first body completes.
+        #: Deterministic: updated only from virtual timestamps, in
+        #: completion order.  One estimator serves two readers —
+        #: :class:`~repro.core.admission.PredictedWaitGuard` and the live
+        #: telemetry plane's query API
+        #: (:meth:`repro.obs.live.LivePlane.service_ewma`) — and it is
+        #: always on, so schedules are identical with the plane on or off.
+        self.service_estimator = Ewma(EWMA_ALPHA)
+
+    @property
+    def service_ewma(self) -> float | None:
+        """The current service-time estimate in ticks (None if unmeasured)."""
+        return self.service_estimator.value
 
     # ------------------------------------------------------------------
     # Attachment (§2.5)
@@ -342,10 +353,7 @@ class EntryRuntime:
         if start is None or call.body_done_at is None:
             return
         sample = call.body_done_at - start
-        if self.service_ewma is None:
-            self.service_ewma = float(sample)
-        else:
-            self.service_ewma += EWMA_ALPHA * (sample - self.service_ewma)
+        self.service_estimator.update(sample)
 
     def record(self, call: Call) -> None:
         if self.record_calls:

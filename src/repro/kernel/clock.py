@@ -19,25 +19,39 @@ class VirtualClock:
 
     One tick is an abstract unit of work; the cost model maps kernel events
     (context switch, process creation, message send, ...) onto ticks.
+
+    Observers subscribe to *advancement*: they are invoked with the new
+    time after every actual forward move.  This is how the live telemetry
+    plane (:mod:`repro.obs.live`) expires windows without posting kernel
+    events — clock motion itself is the timer, so observing a run cannot
+    change its schedule.  Observers must not advance the clock.
     """
 
-    __slots__ = ("_now",)
+    __slots__ = ("_now", "_observers")
 
     def __init__(self, start: int = 0) -> None:
         if start < 0:
             raise KernelError(f"clock cannot start at negative time {start}")
         self._now = int(start)
+        self._observers: list = []
 
     @property
     def now(self) -> int:
         """Current virtual time in ticks."""
         return self._now
 
+    def subscribe(self, observer) -> None:
+        """Call ``observer(now)`` after every actual clock advance."""
+        self._observers.append(observer)
+
     def advance(self, ticks: int) -> int:
         """Advance the clock by ``ticks`` (>= 0) and return the new time."""
         if ticks < 0:
             raise KernelError(f"cannot advance clock by negative ticks ({ticks})")
-        self._now += int(ticks)
+        if ticks:
+            self._now += int(ticks)
+            for observer in self._observers:
+                observer(self._now)
         return self._now
 
     def advance_to(self, when: int) -> int:
@@ -46,7 +60,10 @@ class VirtualClock:
             raise KernelError(
                 f"cannot move clock backwards from {self._now} to {when}"
             )
-        self._now = int(when)
+        if when > self._now:
+            self._now = int(when)
+            for observer in self._observers:
+                observer(self._now)
         return self._now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -8,6 +8,7 @@ about qualitatively: process creations (§3 pools), context switches
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, fields
 
 
@@ -64,7 +65,21 @@ class KernelStats:
     custom: dict[str, int] = field(default_factory=dict)
 
     def bump(self, key: str, amount: int = 1) -> None:
-        """Increment a custom counter."""
+        """Increment a custom counter.
+
+        .. deprecated::
+            The stringly ``custom`` path is superseded by the typed
+            registry: declare ``kernel.metrics.counter("layer.name",
+            legacy="old_key")`` and call ``inc()`` — typos become
+            declaration errors and the legacy mirror keeps old snapshot
+            keys alive.  ``bump`` remains only for ad-hoc scripts.
+        """
+        warnings.warn(
+            "KernelStats.bump() is deprecated; declare a typed counter on "
+            "kernel.metrics (optionally with legacy=...) and inc() it instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.custom[key] = self.custom.get(key, 0) + amount
 
     def snapshot(self) -> dict[str, int]:

@@ -93,6 +93,20 @@ class Observability:
         self._call_seq: dict[tuple[str, str], int] = {}
         self._trace_forwarded = False
         self._latency: Histogram | None = None
+        #: Lazily created live telemetry plane (:mod:`repro.obs.live`).
+        self._live: Any = None
+
+    @property
+    def live(self) -> Any:
+        """The kernel's :class:`~repro.obs.live.LivePlane`, created on
+        first access.  Creation subscribes to the virtual clock but posts
+        no events and records nothing until aggregates are declared, so
+        merely touching ``kernel.obs.live`` keeps schedules unchanged."""
+        if self._live is None:
+            from .live import LivePlane
+
+            self._live = LivePlane(self)
+        return self._live
 
     # -- switches ---------------------------------------------------------
 
@@ -285,6 +299,10 @@ class Observability:
             phase("rpc", f"{entry}.response", reply_at, finish, root.process)
         if self._latency is not None and call.issued_at is not None:
             self._latency.observe(finish - call.issued_at)
+        live = self._live
+        if live is not None:
+            latency = None if call.issued_at is None else finish - call.issued_at
+            live.on_call(entry, root.process, latency, status)
         self.end(root, at=finish, status=status)
 
     # -- queries ----------------------------------------------------------

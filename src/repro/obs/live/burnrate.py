@@ -1,0 +1,177 @@
+"""Multi-window SLO burn-rate monitors with a deterministic alert log.
+
+An SLO like "99% of requests succeed" grants an error *budget* of 1%.
+The **burn rate** over a window is how fast that budget is being spent:
+
+    burn = (bad / total) / (1 - objective)
+
+``burn == 1`` means errors arrive exactly at the sustainable budget
+rate; ``burn == 10`` means the window's budget is consumed ten times too
+fast.  A single window must trade detection speed against flappiness,
+so the monitor uses the standard **multi-window** construction: an alert
+fires only when a *fast* window (quick detection, noisy alone) **and** a
+*slow* window (evidence the problem is sustained) both exceed the
+threshold, and resolves only when both fall below the clear level.
+
+Evaluation happens at every plane step boundary — in virtual time, from
+windowed counts the monitor itself recorded — so the alert event log is
+a pure function of the observed (time, ok?) stream: replaying a run
+reproduces the log byte for byte, which the benches and CI assert.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .stream import WindowedCount
+
+
+class AlertEvent:
+    """One transition of a burn-rate monitor (firing or resolved)."""
+
+    __slots__ = ("time", "monitor", "state", "fast_burn", "slow_burn",
+                 "bad", "total")
+
+    def __init__(self, time: int, monitor: str, state: str, fast_burn: float,
+                 slow_burn: float, bad: int, total: int) -> None:
+        self.time = time
+        self.monitor = monitor
+        self.state = state  #: "firing" | "resolved"
+        self.fast_burn = fast_burn
+        self.slow_burn = slow_burn
+        #: Slow-window evidence at transition time.
+        self.bad = bad
+        self.total = total
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "time": self.time,
+            "monitor": self.monitor,
+            "state": self.state,
+            "fast_burn": self.fast_burn,
+            "slow_burn": self.slow_burn,
+            "bad": self.bad,
+            "total": self.total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<AlertEvent {self.monitor} {self.state} @{self.time} "
+            f"fast={self.fast_burn} slow={self.slow_burn}>"
+        )
+
+
+class BurnRateMonitor:
+    """Fast+slow window burn-rate alerting over an error budget.
+
+    Parameters
+    ----------
+    name:
+        Alert log / dashboard identity.
+    objective:
+        Success objective in (0, 1), e.g. ``0.99``; the error budget is
+        ``1 - objective``.
+    fast, slow:
+        Window widths in ticks (``fast < slow``); both must be multiples
+        of ``step``.
+    step:
+        Evaluation granularity — the plane rolls the monitor at every
+        ``step`` boundary.
+    threshold:
+        Burn rate both windows must reach to fire (default 2.0: the
+        budget is being spent at twice the sustainable rate).
+    clear:
+        Burn rate both windows must fall below to resolve (default 1.0).
+        ``clear < threshold`` gives the alert hysteresis.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        objective: float,
+        fast: int,
+        slow: int,
+        step: int,
+        threshold: float = 2.0,
+        clear: float = 1.0,
+    ) -> None:
+        if not 0 < objective < 1:
+            raise ValueError(f"objective must be in (0, 1), got {objective}")
+        if fast >= slow:
+            raise ValueError(f"fast window ({fast}) must be < slow ({slow})")
+        if clear > threshold:
+            raise ValueError(
+                f"clear level ({clear}) must be <= threshold ({threshold})"
+            )
+        self.name = name
+        self.objective = objective
+        self.budget = 1.0 - objective
+        self.threshold = threshold
+        self.clear = clear
+        # One slow-width counter pair serves both windows: total() takes
+        # an explicit trailing width, so fast reads are a sub-range.
+        self.fast = fast
+        self.slow = slow
+        self._bad = WindowedCount(slow, step)
+        self._total = WindowedCount(slow, step)
+        self.state = "ok"  #: "ok" | "firing"
+        self.events: list[AlertEvent] = []
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, ok: bool, at: int) -> None:
+        """Fold one request outcome in at tick ``at``."""
+        self._total.mark(at)
+        if not ok:
+            self._bad.mark(at)
+
+    # -- evaluation ------------------------------------------------------
+
+    def burn(self, now: int, window: int) -> float:
+        """Burn rate over the trailing ``window`` at ``now`` (0 if idle)."""
+        total = self._total.total(now, window)
+        if not total:
+            return 0.0
+        return (self._bad.total(now, window) / total) / self.budget
+
+    def roll(self, boundary: int) -> AlertEvent | None:
+        """Evaluate at a step boundary; returns the transition, if any."""
+        fast_burn = round(self.burn(boundary, self.fast), 4)
+        slow_burn = round(self.burn(boundary, self.slow), 4)
+        if self.state == "ok":
+            if fast_burn >= self.threshold and slow_burn >= self.threshold:
+                return self._transition(boundary, "firing", fast_burn, slow_burn)
+        else:
+            if fast_burn < self.clear and slow_burn < self.clear:
+                return self._transition(boundary, "resolved", fast_burn, slow_burn)
+        return None
+
+    def _transition(
+        self, time: int, state: str, fast_burn: float, slow_burn: float
+    ) -> AlertEvent:
+        self.state = "firing" if state == "firing" else "ok"
+        event = AlertEvent(
+            time,
+            self.name,
+            state,
+            fast_burn,
+            slow_burn,
+            bad=self._bad.total(time),
+            total=self._total.total(time),
+        )
+        self.events.append(event)
+        return event
+
+    # -- introspection ---------------------------------------------------
+
+    def state_dict(self, now: int) -> dict[str, Any]:
+        return {
+            "objective": self.objective,
+            "state": self.state,
+            "fast_window": self.fast,
+            "slow_window": self.slow,
+            "threshold": self.threshold,
+            "fast_burn": round(self.burn(now, self.fast), 4),
+            "slow_burn": round(self.burn(now, self.slow), 4),
+            "alerts": sum(1 for e in self.events if e.state == "firing"),
+        }

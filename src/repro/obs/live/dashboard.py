@@ -1,0 +1,158 @@
+"""Deterministic text dashboard over live-plane snapshots.
+
+The renderer is a pure function of one snapshot dict — the same dict
+:meth:`~repro.obs.live.LivePlane.snapshot` returns in-process and the
+same dict a ``live.snapshot`` instant carries through a JSONL sink.
+Snapshots are JSON-pure (string keys, lists, rounded floats), so
+rendering the in-memory state and rendering the same snapshot after a
+serialize/parse round-trip produce byte-identical text; CI replays a
+bench run from its JSONL artifact and ``cmp``s the two dashboards.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+__all__ = ["render", "load_snapshots", "snapshot_at"]
+
+
+def _fmt(value: Any) -> str:
+    """Deterministic scalar formatting: ``-`` for missing values."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    """A coarse meter: ``#`` per filled cell, clamped to [0, 1]."""
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render(snapshot: dict, width: int = 72) -> str:
+    """Render one snapshot dict as the text dashboard."""
+    lines: list[str] = []
+    rule = "=" * width
+    lines.append(rule)
+    lines.append(
+        f"LIVE TELEMETRY  tick {snapshot.get('time', 0)}"
+        f"  (step {snapshot.get('step', '?')})"
+    )
+    lines.append(rule)
+
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        lines.append("latency windows (nearest-rank percentiles, ticks)")
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"  {name:<28} n={_fmt(h.get('count')):>5}"
+                f"  mean={_fmt(h.get('mean')):>8}"
+                f"  p50={_fmt(h.get('p50')):>6}"
+                f"  p99={_fmt(h.get('p99')):>6}"
+                f"  p999={_fmt(h.get('p999')):>6}"
+                f"  max={_fmt(h.get('max')):>6}"
+            )
+
+    rates = snapshot.get("rates") or {}
+    if rates:
+        lines.append("rates (events per kilotick)")
+        for name in sorted(rates):
+            r = rates[name]
+            lines.append(
+                f"  {name:<28} now={_fmt(r.get('per_ktick')):>8}"
+                f"  ewma={_fmt(r.get('ewma_per_ktick')):>8}"
+                f"  window={_fmt(r.get('window'))}"
+            )
+
+    metric_rates = snapshot.get("metric_rates") or {}
+    if metric_rates:
+        lines.append("metric rates (registry/kernel counters per kilotick)")
+        for name in sorted(metric_rates):
+            r = metric_rates[name]
+            lines.append(
+                f"  {name:<28} now={_fmt(r.get('per_ktick')):>8}"
+                f"  window={_fmt(r.get('window'))}"
+            )
+
+    sketches = snapshot.get("sketches") or {}
+    if sketches:
+        lines.append("heavy hitters (count, +/- overestimation, share)")
+        for name in sorted(sketches):
+            sk = sketches[name]
+            total = sk.get("total", 0)
+            lines.append(f"  {name}  total={total}  capacity={_fmt(sk.get('capacity'))}")
+            for key, count, error in sk.get("top") or []:
+                share = count / total if total else 0.0
+                lines.append(
+                    f"    {key:<24} {count:>7} +/-{error:<5}"
+                    f" {share * 100:5.1f}%  {_bar(share)}"
+                )
+
+    monitors = snapshot.get("monitors") or {}
+    if monitors:
+        lines.append("SLO burn rates (fast+slow windows over the error budget)")
+        for name in sorted(monitors):
+            m = monitors[name]
+            state = str(m.get("state", "?")).upper()
+            lines.append(
+                f"  {name:<20} slo={_fmt(m.get('objective')):>6}"
+                f"  {state:<7}"
+                f" fast={_fmt(m.get('fast_burn')):>7}x"
+                f" slow={_fmt(m.get('slow_burn')):>7}x"
+                f"  alerts={_fmt(m.get('alerts'))}"
+            )
+
+    alerts = snapshot.get("alerts") or []
+    lines.append(f"alert log ({len(alerts)} events)")
+    for event in alerts:
+        lines.append(
+            f"  t={event.get('time'):>8}  {event.get('monitor'):<20}"
+            f" {str(event.get('state', '?')).upper():<9}"
+            f" fast={_fmt(event.get('fast_burn'))}x"
+            f" slow={_fmt(event.get('slow_burn'))}x"
+            f" bad={_fmt(event.get('bad'))}/{_fmt(event.get('total'))}"
+        )
+    if not alerts:
+        lines.append("  (none)")
+    lines.append(rule)
+    return "\n".join(lines) + "\n"
+
+
+def load_snapshots(lines: Iterable[str]) -> list[dict]:
+    """Extract ``live.snapshot`` instant payloads from JSONL sink lines.
+
+    Malformed lines are skipped (a ``--follow`` reader may see a
+    partially written final line); snapshots come back in file order,
+    which is virtual-time order by the plane's emission contract.
+    """
+    snapshots: list[dict] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if (
+            isinstance(record, dict)
+            and record.get("type") == "event"
+            and record.get("kind") == "live.snapshot"
+            and isinstance(record.get("detail"), dict)
+        ):
+            snapshots.append(record["detail"])
+    return snapshots
+
+
+def snapshot_at(snapshots: list[dict], at: int | None) -> dict | None:
+    """The latest snapshot, or the latest one no later than tick ``at``."""
+    if not snapshots:
+        return None
+    if at is None:
+        return snapshots[-1]
+    eligible = [s for s in snapshots if s.get("time", 0) <= at]
+    return eligible[-1] if eligible else None

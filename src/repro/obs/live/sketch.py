@@ -1,0 +1,137 @@
+"""Space-Saving top-K heavy-hitter sketches.
+
+Metwally, Agrawal & El Abbadi's *Space-Saving* algorithm keeps exactly
+``capacity`` counters no matter how many distinct keys stream past: a
+new key evicts the current minimum counter and inherits its count as an
+overestimation ``error``.  The guarantees the resharder cares about:
+
+* every key whose true count exceeds ``total / capacity`` is present;
+* for a monitored key, ``count - error <= true count <= count``.
+
+Determinism: ties (equal counts at eviction time) are broken by
+insertion order (oldest evicted first), tracked with a monotone
+sequence number — never by hash order, so two replays produce the same
+sketch byte for byte.  Keys are coerced to ``str`` on entry so sketch
+contents survive a JSONL round-trip unchanged (the dashboard renders
+from either side of the serialization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class SpaceSaving:
+    """Top-K frequency sketch over a key stream (bounded memory)."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"sketch capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        #: key -> [count, error, seq]; dict order is insertion order but
+        #: selection never relies on it (see ``_min_key``).
+        self._counters: dict[str, list[int]] = {}
+        self._seq = 0
+        #: Total weight offered (monitored or not).
+        self.total = 0
+
+    def offer(self, key: Any, weight: int = 1) -> None:
+        """Count one occurrence of ``key`` (coerced to ``str``)."""
+        if weight < 1:
+            raise ValueError(f"sketch weight must be >= 1, got {weight}")
+        key = str(key)
+        self.total += weight
+        self._seq += 1
+        entry = self._counters.get(key)
+        if entry is not None:
+            entry[0] += weight
+            return
+        if len(self._counters) < self.capacity:
+            self._counters[key] = [weight, 0, self._seq]
+            return
+        victim = self._min_key()
+        count, _error, _seq = self._counters.pop(victim)
+        # The new key inherits the evicted count as its overestimation.
+        self._counters[key] = [count + weight, count, self._seq]
+
+    def _min_key(self) -> str:
+        return min(
+            self._counters,
+            key=lambda k: (self._counters[k][0], self._counters[k][2]),
+        )
+
+    def top(self, k: int | None = None) -> list[tuple[str, int, int]]:
+        """The heaviest keys as ``(key, count, error)``, heaviest first.
+
+        Deterministic order: by count descending, then by insertion
+        sequence (older first), so equal counts cannot flap between
+        replays.
+        """
+        ranked = sorted(
+            self._counters.items(),
+            key=lambda kv: (-kv[1][0], kv[1][2]),
+        )
+        if k is not None:
+            ranked = ranked[:k]
+        return [(key, entry[0], entry[1]) for key, entry in ranked]
+
+    def guaranteed(self, key: Any) -> int:
+        """Lower bound on the true count of ``key`` (0 if unmonitored)."""
+        entry = self._counters.get(str(key))
+        return entry[0] - entry[1] if entry is not None else 0
+
+    def state(self, k: int | None = None) -> dict:
+        """JSON-able sketch state for instants and the dashboard."""
+        return {
+            "total": self.total,
+            "capacity": self.capacity,
+            "top": [list(row) for row in self.top(k)],
+        }
+
+
+@dataclass
+class HotKeyReport:
+    """A consumable heavy-hitter report (the future resharder's input).
+
+    ``entries`` are ``(key, count, error)`` heaviest-first as of tick
+    ``as_of``; ``total`` is the full stream weight, so shares are
+    computed against everything offered, not just the monitored keys.
+    """
+
+    name: str
+    as_of: int
+    total: int
+    entries: list[tuple[str, int, int]] = field(default_factory=list)
+
+    def share(self, key: Any) -> float:
+        """Upper-bound share of the stream attributable to ``key``."""
+        if not self.total:
+            return 0.0
+        for entry_key, count, _error in self.entries:
+            if entry_key == str(key):
+                return count / self.total
+        return 0.0
+
+    def candidates(self, min_share: float = 0.1) -> list[str]:
+        """Keys whose *guaranteed* share meets ``min_share``.
+
+        Uses the lower bound ``count - error``, so a key only becomes a
+        split/mitigation candidate when it is provably hot — an inherited
+        overestimate cannot nominate a cold key.
+        """
+        if not self.total:
+            return []
+        return [
+            key
+            for key, count, error in self.entries
+            if (count - error) / self.total >= min_share
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "as_of": self.as_of,
+            "total": self.total,
+            "entries": [list(row) for row in self.entries],
+        }

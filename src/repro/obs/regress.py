@@ -127,7 +127,11 @@ TRACKED: dict[str, Experiment] = {
         [Metric("events", higher_is_better=False, tolerance=0.0),
          # Wall-clock rate is noisy across runners — gate only a gross
          # slowdown (60%), never a speedup.
-         Metric("events_per_sec", higher_is_better=True, tolerance=0.6)],
+         Metric("events_per_sec", higher_is_better=True, tolerance=0.6),
+         # Live-plane slowdown factor (base rate / live rate, 1.0 = the
+         # plane is free).  Only on the -live row; same wall-clock noise
+         # caveat, so only a gross cost explosion fails the gate.
+         Metric("live_overhead_x", higher_is_better=False, tolerance=1.0)],
     ),
 }
 

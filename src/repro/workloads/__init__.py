@@ -1,6 +1,7 @@
 """Workload generation: arrivals, skew, traces, and the traffic engine."""
 
 from .engine import Outcome, Request, TrafficEngine, TrafficResult
+from .livewire import watch_traffic
 from .generators import (
     ArrivalProcess,
     Bursty,
@@ -36,4 +37,5 @@ __all__ = [
     "percentile",
     "find_knee",
     "goodput_timeline",
+    "watch_traffic",
 ]

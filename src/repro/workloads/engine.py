@@ -244,6 +244,12 @@ class TrafficEngine:
         #: The full request schedule, fixed before the kernel runs.
         self.schedule: list[Request] = self._build_schedule()
         self.result = TrafficResult(issued=count, attempts=0)
+        #: Outcome observers, called synchronously as each request's
+        #: outcome is recorded (in completion order, at the completing
+        #: process's virtual time).  The live telemetry plane attaches
+        #: here (:func:`repro.workloads.livewire.watch_traffic`); pure
+        #: observation — an observer must not issue syscalls.
+        self.observers: list[Any] = []
 
     # -- schedule construction (pure, kernel-independent) -----------------
 
@@ -329,10 +335,11 @@ class TrafficEngine:
                 yield Delay(req.at - now)
                 now = req.at
             if inflight[0] >= self.clients:
-                self.result.outcomes.append(
-                    Outcome(request=req, status="dropped",
-                            issued_at=now, finished_at=now)
-                )
+                outcome = Outcome(request=req, status="dropped",
+                                  issued_at=now, finished_at=now)
+                self.result.outcomes.append(outcome)
+                for observer in self.observers:
+                    observer(outcome)
                 continue
             inflight[0] += 1
             yield Spawn(
@@ -384,13 +391,14 @@ class TrafficEngine:
             # released; no outcome is recorded, so check_conservation()
             # reports the truncation instead of inventing a status.
             inflight[0] -= 1
-        self.result.outcomes.append(
-            Outcome(
-                request=req,
-                status=status,
-                issued_at=issued_at,
-                finished_at=self.kernel.clock.now,
-                value=value,
-                retries=max(0, attempts[0] - 1),
-            )
+        outcome = Outcome(
+            request=req,
+            status=status,
+            issued_at=issued_at,
+            finished_at=self.kernel.clock.now,
+            value=value,
+            retries=max(0, attempts[0] - 1),
         )
+        self.result.outcomes.append(outcome)
+        for observer in self.observers:
+            observer(outcome)

@@ -1,0 +1,86 @@
+"""Wire the live telemetry plane into a running traffic engine.
+
+One call —
+
+    watch_traffic(kernel.obs.live, engine, objective=0.99)
+
+— and the plane aggregates, in virtual time while the run executes,
+what the SLO harness (:mod:`repro.workloads.slo`) computes post-hoc:
+
+* ``traffic.<name>.latency`` — sliding-window histogram of served
+  latencies (finish − scheduled arrival, the harness's definition);
+* ``traffic.<name>.ok`` / ``traffic.<name>.load`` — windowed+EWMA
+  goodput and completion rates per kilotick;
+* ``traffic.<name>.slo`` — a fast+slow burn-rate monitor where "bad"
+  is any non-ok outcome, emitting the deterministic alert log E14/E15
+  report next to the goodput knee;
+* ``traffic.<name>.callers`` — a Space-Saving sketch of virtual caller
+  IDs (pass ``key=`` to sketch an application key instead, e.g. the KV
+  key a request touches).
+
+Everything attaches through :attr:`TrafficEngine.observers` — a pure
+synchronous callback on the outcome-recording path, no extra processes,
+no syscalls — so the engine's schedule is identical with or without the
+wire (asserted by the live-plane neutrality tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..obs.live import LivePlane
+from .engine import Outcome, TrafficEngine
+
+__all__ = ["watch_traffic"]
+
+
+def watch_traffic(
+    plane: LivePlane,
+    engine: TrafficEngine,
+    objective: float = 0.99,
+    window: int | None = None,
+    fast: int | None = None,
+    slow: int | None = None,
+    threshold: float = 2.0,
+    clear: float = 1.0,
+    key: Callable[[Outcome], Any] | None = None,
+) -> dict[str, Any]:
+    """Attach live aggregation to ``engine``; returns the aggregates.
+
+    ``key`` extracts a sketch key from each outcome (default: the
+    virtual caller ID).  The returned dict holds the bound aggregates
+    (``latency``, ``ok``, ``load``, ``slo``, ``sketch_name``) for
+    in-simulation reads — e.g. a daemon polling
+    ``plane.hot_keys(wire["sketch_name"])``.
+    """
+    prefix = f"traffic.{engine.name}"
+    latency = plane.histogram(f"{prefix}.latency", window)
+    ok_rate = plane.rate(f"{prefix}.ok", window)
+    load_rate = plane.rate(f"{prefix}.load", window)
+    slo = plane.monitor(
+        f"{prefix}.slo", objective, fast=fast, slow=slow,
+        threshold=threshold, clear=clear,
+    )
+    sketch_name = f"{prefix}.callers"
+    plane.sketch(sketch_name)
+
+    def observe(outcome: Outcome) -> None:
+        ok = outcome.status == "ok"
+        load_rate.mark()
+        slo.record(ok)
+        if ok:
+            latency.observe(outcome.latency)
+            ok_rate.mark()
+        plane.offer(
+            sketch_name,
+            outcome.request.caller if key is None else key(outcome),
+        )
+
+    engine.observers.append(observe)
+    return {
+        "latency": latency,
+        "ok": ok_rate,
+        "load": load_rate,
+        "slo": slo,
+        "sketch_name": sketch_name,
+    }

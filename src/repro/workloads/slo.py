@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..obs.live.stream import nearest_rank
 from .engine import STATUSES, TrafficResult
 
 #: Ticks per rate unit: loads and goodputs are per kilotick.
@@ -35,16 +36,17 @@ def percentile(values: Sequence[int | float], p: float) -> float:
     The nearest-rank definition returns an element of ``values`` (never
     an interpolation), so "p999 = 412 ticks" is always a latency some
     request actually saw.  Raises :class:`ValueError` on empty input.
+
+    Delegates to :func:`repro.obs.live.stream.nearest_rank`, which
+    computes ``rank = ceil(p·n/100)`` with exact rational arithmetic.
+    The float ceiling this used to apply (``-(-p * n // 100)``) picked
+    rank 162 instead of 161 for ``p=16.1, n=1000``: the exact product
+    is the whole number 16100, but the binary float product overshoots
+    it, so the ceiling rounds up one rank too far.
     """
     if not values:
         raise ValueError("percentile of empty sequence")
-    if not 0 <= p <= 100:
-        raise ValueError(f"percentile must be in [0, 100], got {p}")
-    ordered = sorted(values)
-    if p == 0:
-        return ordered[0]
-    rank = max(1, -(-p * len(ordered) // 100))  # ceil(p/100 * n)
-    return ordered[int(rank) - 1]
+    return nearest_rank(values, p)
 
 
 @dataclass

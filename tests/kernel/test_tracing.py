@@ -1,5 +1,7 @@
 """Unit tests for tracing and stats plumbing."""
 
+import pytest
+
 from repro.kernel import Delay, Kernel, Spawn
 from repro.kernel.stats import KernelStats
 from repro.kernel.tracing import Trace, TraceEvent
@@ -70,15 +72,17 @@ class TestTrace:
 
 
 class TestKernelStats:
-    def test_bump_custom(self):
+    def test_bump_custom_deprecated(self):
         stats = KernelStats()
-        stats.bump("widgets")
-        stats.bump("widgets", 4)
+        with pytest.warns(DeprecationWarning, match="typed counter"):
+            stats.bump("widgets")
+        with pytest.warns(DeprecationWarning):
+            stats.bump("widgets", 4)
         assert stats.custom["widgets"] == 5
 
     def test_snapshot_includes_custom(self):
         stats = KernelStats()
-        stats.bump("widgets", 2)
+        stats.custom["widgets"] = 2
         snap = stats.snapshot()
         assert snap["custom.widgets"] == 2
 

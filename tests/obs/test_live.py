@@ -1,0 +1,406 @@
+"""The live telemetry plane: primitives, sketches, burn rates, the plane.
+
+Window semantics under test are the ISSUE's explicit edge cases: empty
+window, single sample, and a sample landing exactly on the window
+boundary tick (half-open ``(now - W, now]`` — the boundary sample has
+aged out).  The percentile tests pin the nearest-rank float bug the PR
+fixes: ``ceil`` computed as ``-(-p * n // 100)`` overshoots whenever
+the exact product ``p·n`` is a whole number the binary float rounds
+past — ``p=16.1, n=1000`` picks rank 162 instead of 161.
+"""
+
+import json
+
+import pytest
+
+from repro.kernel import Delay, Kernel
+from repro.obs import MemorySink, parse_openmetrics, render_openmetrics
+from repro.obs.live import LivePlane
+from repro.obs.live.burnrate import BurnRateMonitor
+from repro.obs.live.sketch import HotKeyReport, SpaceSaving
+from repro.obs.live.stream import (
+    Ewma,
+    WindowedCount,
+    WindowedHistogram,
+    WindowedRate,
+    nearest_rank,
+)
+
+
+class TestNearestRank:
+    def test_empty_returns_none(self):
+        assert nearest_rank([], 50) is None
+        assert nearest_rank([], 99.9) is None
+
+    def test_single_sample_is_every_percentile(self):
+        for p in (0, 1, 50, 99, 99.9, 100):
+            assert nearest_rank([7], p) == 7
+
+    def test_zero_is_min_hundred_is_max(self):
+        values = [5, 1, 9, 3]
+        assert nearest_rank(values, 0) == 1
+        assert nearest_rank(values, 100) == 9
+
+    def test_small_set_ranks(self):
+        values = [10, 20, 30, 40]
+        # ceil(50*4/100) = 2 -> 2nd smallest.
+        assert nearest_rank(values, 50) == 20
+        # ceil(99*4/100) = 4 -> max.
+        assert nearest_rank(values, 99) == 40
+        # ceil(25*4/100) = 1 -> min.
+        assert nearest_rank(values, 25) == 10
+
+    def test_float_ceiling_regression(self):
+        # 16.1 * 1000 / 100 is exactly 161, but the binary float product
+        # is 16100.000000000002, so the old float ceil picked rank 162.
+        values = list(range(1000))
+        assert nearest_rank(values, 16.1) == 160  # rank 161, 1-indexed
+        assert -(-16.1 * len(values) // 100) == 162
+        # Decimal percentile specs behave as written at the tail too.
+        assert nearest_rank(list(range(8000)), 99.9) == 7991
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            nearest_rank([1], -1)
+        with pytest.raises(ValueError):
+            nearest_rank([1], 100.1)
+
+
+class TestEwma:
+    def test_none_until_first_sample(self):
+        e = Ewma(0.2)
+        assert e.value is None and e.count == 0
+
+    def test_exact_arithmetic(self):
+        e = Ewma(0.2)
+        assert e.update(10) == 10.0
+        # 10 + 0.2 * (20 - 10)
+        assert e.update(20) == pytest.approx(12.0)
+        assert e.count == 2
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            Ewma(0)
+        with pytest.raises(ValueError):
+            Ewma(1.5)
+
+
+class TestWindowedHistogram:
+    def test_empty_window(self):
+        h = WindowedHistogram(100, 10)
+        assert h.percentile(99, 0) is None
+        assert h.mean(50) is None
+        assert h.count(50) == 0
+        state = h.state(50)
+        assert state["count"] == 0 and state["p99"] is None
+
+    def test_single_sample(self):
+        h = WindowedHistogram(100, 10)
+        h.observe(42, at=5)
+        for p in (0, 50, 99, 99.9, 100):
+            assert h.percentile(p, 5) == 42
+        assert h.mean(5) == 42
+
+    def test_boundary_tick_is_exclusive(self):
+        h = WindowedHistogram(100, 10)
+        h.observe(1, at=0)
+        h.observe(2, at=1)
+        # At now=100: horizon is 0; sample at t=0 excluded, t=1 included.
+        assert h.samples(100) == [2]
+        # At now=99 both are live; at now=101 even t=1 sits exactly on
+        # the boundary and has aged out.
+        assert sorted(h.samples(99)) == [1, 2]
+        assert h.samples(101) == []
+
+    def test_exact_filter_inside_surviving_bucket(self):
+        # Expiry is bucket-granular, but queries filter exact times: a
+        # bucket kept alive by a late sample must not leak its early one.
+        h = WindowedHistogram(100, 10)
+        h.observe(1, at=10)
+        h.observe(2, at=19)  # same bucket [10, 20)
+        assert sorted(h.samples(109)) == [1, 2]
+        assert h.samples(111) == [2]  # 10 <= 111-100, aged; 19 still live
+
+    def test_window_must_be_multiple_of_step(self):
+        with pytest.raises(ValueError):
+            WindowedHistogram(105, 10)
+
+
+class TestWindowedCount:
+    def test_total_and_subwindow(self):
+        c = WindowedCount(100, 10)
+        c.mark(5)
+        c.mark(55)
+        c.mark(55)
+        assert c.total(60) == 3
+        # Trailing 20 ticks at now=60: only the bucket holding t=55.
+        assert c.total(60, 20) == 2
+
+    def test_bucket_granular_expiry(self):
+        c = WindowedCount(100, 10)
+        c.mark(0)
+        # Bucket [0,10) dies once 10 <= now-100, i.e. now >= 110.
+        assert c.total(109) == 1
+        assert c.total(110) == 0
+
+    def test_per_ktick(self):
+        c = WindowedCount(1000, 100)
+        for t in range(0, 500, 10):
+            c.mark(t)
+        assert c.per_ktick(500) == 50.0
+
+
+class TestWindowedRate:
+    def test_ewma_folds_per_step_rate(self):
+        r = WindowedRate(100, 10, alpha=0.5)
+        r.mark(3)
+        r.mark(7)
+        r.roll(10)   # 2 marks in a 10-tick step -> 200/ktick
+        assert r.ewma.value == pytest.approx(200.0)
+        r.roll(20)   # empty step decays toward 0
+        assert r.ewma.value == pytest.approx(100.0)
+
+
+class TestSpaceSaving:
+    def test_eviction_inherits_count_as_error(self):
+        s = SpaceSaving(capacity=2)
+        s.offer("a")
+        s.offer("a")
+        s.offer("b")
+        s.offer("c")  # evicts b (count 1) -> c: count 2, error 1
+        top = s.top()
+        assert top[0] == ("a", 2, 0)
+        assert top[1] == ("c", 2, 1)
+        assert s.guaranteed("c") == 1
+        assert s.guaranteed("a") == 2
+        assert s.guaranteed("b") == 0
+
+    def test_deterministic_across_replays(self):
+        stream = [f"k{i % 7}" for i in range(200)] + ["hot"] * 50
+        s1, s2 = SpaceSaving(4), SpaceSaving(4)
+        for key in stream:
+            s1.offer(key)
+        for key in stream:
+            s2.offer(key)
+        assert s1.state() == s2.state()
+        assert json.dumps(s1.state(), sort_keys=True) == json.dumps(
+            s2.state(), sort_keys=True
+        )
+
+    def test_heavy_key_always_present(self):
+        # Space-Saving guarantee: true count > total/capacity => monitored.
+        s = SpaceSaving(capacity=4)
+        for i in range(300):
+            s.offer(f"noise{i}")
+            if i % 2 == 0:
+                s.offer("hot")
+        assert any(key == "hot" for key, _, _ in s.top())
+
+    def test_keys_coerced_to_str(self):
+        s = SpaceSaving(4)
+        s.offer(7)
+        s.offer("7")
+        assert s.top()[0] == ("7", 2, 0)
+
+
+class TestHotKeyReport:
+    def test_share_and_candidates_use_guarantees(self):
+        report = HotKeyReport(
+            "kv.keys", as_of=500, total=100,
+            entries=[("hot", 40, 0), ("inherited", 30, 25), ("warm", 12, 0)],
+        )
+        assert report.share("hot") == pytest.approx(0.4)
+        assert report.share("absent") == 0.0
+        # "inherited" has guaranteed count 5 -> below the 10% bar.
+        assert report.candidates(0.1) == ["hot", "warm"]
+
+    def test_empty_report(self):
+        report = HotKeyReport("x", 0, 0, [])
+        assert report.share("a") == 0.0
+        assert report.candidates() == []
+
+
+class TestBurnRateMonitor:
+    def _feed(self, monitor, start, end, step, bad_every):
+        for t in range(start, end, step):
+            monitor.record(t % bad_every == 0, at=t)
+
+    def test_fires_only_when_both_windows_burn(self):
+        m = BurnRateMonitor("slo", 0.9, fast=100, slow=500, step=50)
+        # Errors only in the last 50 ticks: the fast window burns (5x),
+        # the slow window's share stays at the budget (1x) -> no alert.
+        for t in range(0, 450, 10):
+            m.record(True, at=t)
+        for t in range(450, 500, 10):
+            m.record(False, at=t)
+        assert m.roll(500) is None
+        assert m.state == "ok"
+
+    def test_fire_and_resolve_with_hysteresis(self):
+        m = BurnRateMonitor("slo", 0.9, fast=100, slow=200, step=50,
+                            threshold=2.0, clear=1.0)
+        for t in range(0, 200, 10):
+            m.record(False, at=t)
+        event = m.roll(200)
+        assert event is not None and event.state == "firing"
+        assert m.state == "firing"
+        # Recovery: all-ok traffic; resolve only after both burns < clear.
+        resolved = []
+        for t in range(200, 600, 10):
+            m.record(True, at=t)
+            if t % 50 == 40:
+                e = m.roll(t + 10)
+                if e is not None:
+                    resolved.append(e)
+        assert [e.state for e in resolved] == ["resolved"]
+        assert m.state == "ok"
+        assert [e.state for e in m.events] == ["firing", "resolved"]
+
+    def test_idle_window_burns_zero(self):
+        m = BurnRateMonitor("slo", 0.99, fast=100, slow=500, step=50)
+        assert m.burn(1000, 100) == 0.0
+        assert m.roll(1000) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurnRateMonitor("x", 1.5, 100, 500, 50)
+        with pytest.raises(ValueError):
+            BurnRateMonitor("x", 0.9, 500, 100, 50)
+        with pytest.raises(ValueError):
+            BurnRateMonitor("x", 0.9, 100, 500, 50, threshold=1.0, clear=2.0)
+
+
+def _plane(step=100):
+    kernel = Kernel(seed=5)
+    return kernel, LivePlane(kernel.obs, step=step)
+
+
+class TestLivePlane:
+    def test_big_jump_rolls_every_boundary_in_order(self):
+        kernel, plane = _plane(step=100)
+        sink = MemorySink()
+        kernel.obs.add_sink(sink, forward_trace=False)
+        plane.stream_snapshots(every=1)
+        kernel.clock.advance_to(1000)  # one jump across 10 boundaries
+        times = [r["time"] for r in sink.records
+                 if r.get("kind") == "live.snapshot"]
+        assert times == [100 * i for i in range(1, 11)]
+
+    def test_alert_instants_at_their_boundaries(self):
+        kernel, plane = _plane(step=100)
+        sink = MemorySink()
+        kernel.obs.add_sink(sink, forward_trace=False)
+        slo = plane.monitor("svc", objective=0.9, fast=200, slow=1000)
+        for t in range(0, 1000, 20):
+            kernel.clock.advance_to(t)
+            slo.record(False)
+        kernel.clock.advance_to(2600)
+        alerts = [r for r in sink.records if r.get("kind") == "live.alert"]
+        assert [a["detail"]["state"] for a in alerts] == ["firing", "resolved"]
+        assert alerts[0]["time"] < alerts[1]["time"]
+        assert plane.alert_log() == [a["detail"] for a in alerts]
+
+    def test_metric_rate_from_kernel_stats_field(self):
+        kernel, plane = _plane(step=100)
+        plane.metric_rate("sends", window=1000)
+        kernel.stats.sends += 30
+        kernel.clock.advance_to(100)   # boundary samples the delta
+        snap = plane.snapshot()
+        assert snap["metric_rates"]["sends"]["per_ktick"] == pytest.approx(30.0)
+
+    def test_metric_rate_unknown_name_rejected(self):
+        _, plane = _plane()
+        with pytest.raises(ValueError):
+            plane.metric_rate("no.such.metric")
+
+    def test_window_must_align_with_plane_step(self):
+        _, plane = _plane(step=100)
+        with pytest.raises(ValueError):
+            plane.histogram("h", window=150)
+
+    def test_declaration_is_idempotent(self):
+        _, plane = _plane()
+        assert plane.histogram("h") is plane.histogram("h")
+        assert plane.sketch("s") is plane.sketch("s")
+        assert plane.monitor("m") is plane.monitor("m")
+
+    def test_snapshot_json_round_trip_is_identity(self):
+        kernel, plane = _plane(step=100)
+        h = plane.histogram("lat", window=1000)
+        r = plane.rate("req", window=1000)
+        plane.offer("keys", "a")
+        plane.monitor("slo", objective=0.99)
+        for t in range(0, 600, 30):
+            kernel.clock.advance_to(t)
+            h.observe(t % 17)
+            r.mark()
+        snap = plane.snapshot()
+        assert json.loads(json.dumps(snap, sort_keys=True)) == snap
+
+    def test_register_gauges_exports_window_state(self):
+        kernel, plane = _plane(step=100)
+        h = plane.histogram("lat", window=1000)
+        plane.monitor("slo", objective=0.99)
+        kernel.clock.advance_to(90)
+        h.observe(25)
+        plane.register_gauges()
+        text = render_openmetrics(kernel.metrics)
+        parsed = parse_openmetrics(text)
+        assert parsed["live.lat.p99"]["value"] == 25.0
+        assert parsed["live.lat.count"]["value"] == 1
+        assert parsed["live.slo.alerts"]["value"] == 0
+
+
+class TestWatchCalls:
+    def _run(self):
+        from repro.core import AlpsObject, entry, manager_process
+
+        class Slow(AlpsObject):
+            @entry(returns=1)
+            def work(self, x):
+                return x
+
+            @manager_process(intercepts=["work"])
+            def mgr(self):
+                while True:
+                    call = yield self.accept("work")
+                    yield Delay(5)
+                    yield from self.execute(call)
+
+        kernel = Kernel(seed=2)
+        plane = kernel.obs.live
+        plane.watch_calls(window=1000, objective=0.9)
+        obj = Slow(kernel, name="slow")
+
+        def caller(tag):
+            def body():
+                for _ in range(3):
+                    yield obj.work(tag)
+
+            return body
+
+        for tag in range(3):
+            kernel.spawn(caller(tag), name=f"c{tag}")
+        kernel.run()
+        return kernel, plane
+
+    def test_latency_and_sketches_fill(self):
+        kernel, plane = self._run()
+        hist = plane.histogram("calls.work")
+        assert hist.count() == 9
+        assert hist.percentile(50) is not None
+        report = plane.hot_keys("calls.entries")
+        assert report.entries[0][0] == "work"
+        callers = {key for key, _, _ in plane.hot_keys("calls.callers").entries}
+        assert callers == {"work|c0", "work|c1", "work|c2"}
+        # All calls served: the SLO monitor saw only good events.
+        assert plane.monitors["calls.slo"].events == []
+
+    def test_service_ewma_query_matches_runtime(self):
+        kernel, plane = self._run()
+        obj = kernel._alps_objects[0]
+        assert plane.service_ewma("slow", "work") == (
+            obj._entry_runtime("work").service_ewma
+        )
+        assert plane.service_ewma("slow", "work") is not None
+        assert plane.service_ewma("absent", "work") is None

@@ -116,14 +116,14 @@ class TestKernelStatsSnapshot:
         from repro.kernel.stats import KernelStats
 
         stats = KernelStats()
-        stats.bump("weird")
+        stats.custom["weird"] = 1
         assert stats.snapshot()["custom.weird"] == 1
 
     def test_diff_keeps_earlier_only_keys(self):
         from repro.kernel.stats import KernelStats
 
         stats = KernelStats()
-        stats.bump("once")
+        stats.custom["once"] = 1
         earlier = stats.snapshot()
         stats.custom.clear()
         stats.sends += 2

@@ -130,3 +130,116 @@ class TestTraceForwarding:
         run_workload(kernel)
         assert [r for r in sink.records if r["type"] == "event"] == []
         assert sink.spans()
+
+
+def _live_run(sink_a, sink_b):
+    """One seeded run feeding two sinks the same live-plane instants."""
+    kernel = Kernel(seed=4)
+    kernel.obs.add_sink(sink_a, forward_trace=False)
+    kernel.obs.add_sink(sink_b, forward_trace=False)
+    plane = kernel.obs.live
+    slo = plane.monitor("svc", objective=0.9, fast=200, slow=1000)
+    plane.stream_snapshots(every=3)
+    for t in range(0, 2400, 20):
+        kernel.clock.advance_to(t)
+        slo.record(not 300 < t < 700)
+    kernel.clock.advance_to(3000)
+    kernel.obs.close()
+    return kernel
+
+
+class TestLiveInstantOrdering:
+    def test_jsonl_and_chrome_serialize_in_boundary_order(self, tmp_path):
+        from repro.obs.sinks import validate_live_jsonl
+
+        buf = io.StringIO()
+        chrome_path = tmp_path / "live.json"
+        _live_run(JsonlSink(buf), ChromeTraceSink(str(chrome_path)))
+
+        # JSONL: live events in non-decreasing time order, alerts
+        # alternating -- the validator encodes the contract.
+        lines = buf.getvalue().splitlines()
+        assert validate_live_jsonl(lines) == []
+        times = [
+            json.loads(line)["time"]
+            for line in lines
+            if '"kind": "live.' in line
+        ]
+        assert times == sorted(times)
+        assert len(times) > 10
+
+        # Chrome: the same instants pass the live checks there too.
+        payload = json.loads(chrome_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        live_ts = [
+            e["ts"] for e in payload["traceEvents"]
+            if str(e.get("cat", "")).startswith("live.")
+        ]
+        assert live_ts == sorted(live_ts)
+        assert len(live_ts) == len(times)
+
+    def test_burst_of_boundaries_stays_ordered(self):
+        # A single clock jump crossing many boundaries must serialize one
+        # instant per boundary, in boundary order (not one at jump time).
+        kernel = Kernel(seed=1)
+        sink = MemorySink()
+        kernel.obs.add_sink(sink, forward_trace=False)
+        plane = kernel.obs.live
+        plane.stream_snapshots(every=1)
+        kernel.clock.advance_to(777)
+        kernel.clock.advance_to(2345)
+        times = [r["time"] for r in sink.records
+                 if r.get("kind") == "live.snapshot"]
+        assert times == [plane.step * i for i in range(1, 24)]
+
+    def test_validator_flags_out_of_order_and_bad_alternation(self):
+        from repro.obs.sinks import validate_live_jsonl
+
+        record = (
+            '{"type": "event", "time": %d, "kind": "live.alert", '
+            '"process": "live", "detail": {"monitor": "m", "state": "%s", '
+            '"fast_burn": 3.0, "slow_burn": 2.1, "bad": 1, "total": 2}}'
+        )
+        # firing twice without a resolve
+        problems = validate_live_jsonl(
+            [record % (100, "firing"), record % (200, "firing")]
+        )
+        assert any("alternate" in p for p in problems)
+        # time going backwards
+        problems = validate_live_jsonl(
+            [record % (200, "firing"), record % (100, "resolved")]
+        )
+        assert any("out of order" in p for p in problems)
+        # well-formed pair passes
+        assert validate_live_jsonl(
+            [record % (100, "firing"), record % (200, "resolved")]
+        ) == []
+
+    def test_chrome_validator_flags_bad_live_alerts(self):
+        def alert(ts, state):
+            return {
+                "ph": "i", "cat": "live.alert", "name": "live.alert",
+                "ts": ts, "pid": 1, "tid": 1, "s": "t",
+                "args": {"monitor": "'m'", "state": f"'{state}'",
+                         "fast_burn": "3.0", "slow_burn": "2.1"},
+            }
+
+        span = [
+            {"ph": "b", "cat": "c", "name": "n", "id": 1, "ts": 0},
+            {"ph": "e", "cat": "c", "name": "n", "id": 1, "ts": 5},
+        ]
+        good = span + [alert(100, "firing"), alert(200, "resolved")]
+        assert validate_chrome_trace({"traceEvents": good}) == []
+        double = span + [alert(100, "firing"), alert(200, "firing")]
+        assert any(
+            "alternate" in p
+            for p in validate_chrome_trace({"traceEvents": double})
+        )
+        missing = span + [{
+            "ph": "i", "cat": "live.alert", "name": "live.alert", "ts": 50,
+            "pid": 1, "tid": 1, "s": "t", "args": {},
+        }]
+        assert any(
+            "missing" in p
+            for p in validate_chrome_trace({"traceEvents": missing})
+        )

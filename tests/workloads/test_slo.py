@@ -44,6 +44,17 @@ class TestPercentile:
         assert percentile(values, 99.9) == 999
         assert percentile(values, 99) == 990
 
+    def test_float_ceiling_regression(self):
+        # p=16.1 of n=1000 is exactly rank 161 (16.1 * 1000 / 100), but
+        # the float product 16.1 * 1000 overshoots to 16100.000000000002,
+        # so the old float ceiling -(-p * n // 100) landed on rank 162.
+        # The exact rational arithmetic in nearest_rank picks index 160.
+        values = list(range(1000))
+        assert percentile(values, 16.1) == 160
+        assert -(-16.1 * len(values) // 100) == 162  # the bug, preserved
+        # And the marquee tail spec stays element-exact too.
+        assert percentile(list(range(8000)), 99.9) == 7991
+
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             percentile([], 50)

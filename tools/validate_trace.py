@@ -1,26 +1,37 @@
 #!/usr/bin/env python
-"""Validate a Chrome ``trace_event`` JSON file produced by repro.obs.
+"""Validate trace artifacts produced by repro.obs.
 
-CI runs this against the trace artifacts the benchmarks and examples
-export; it checks the payload is well-formed JSON with a non-empty
-``traceEvents`` list whose async span begins/ends balance (every ``"b"``
-has exactly one ``"e"`` of the same id/category, no earlier than its
-begin).
+CI runs this against the artifacts the benchmarks and examples export.
+Two formats, dispatched on extension:
+
+* ``*.json`` — Chrome ``trace_event`` payloads: well-formed JSON with a
+  non-empty ``traceEvents`` list whose async span begins/ends balance
+  (every ``"b"`` has exactly one ``"e"`` of the same id/category, no
+  earlier than its begin), plus the live-plane instant rules below
+  applied to ``ph: "i"`` events;
+* ``*.jsonl`` — JSONL sink dumps: every line a JSON object; live-plane
+  events (``kind`` starting with ``live.``) in non-decreasing time
+  order, ``live.alert`` events carrying the alert payload and
+  alternating firing/resolved per monitor, ``live.snapshot`` events
+  embedding their evaluation time.
 
 Usage::
 
-    python tools/validate_trace.py run.json [more.json ...]
+    python tools/validate_trace.py run.json live.jsonl [more ...]
 
 Exit status 0 when every file passes; 1 with the problems listed
 otherwise.
 """
 
 import json
+import os
 import sys
 
-sys.path.insert(0, "src")
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
 
-from repro.obs.sinks import validate_chrome_trace  # noqa: E402
+from repro.obs.sinks import validate_chrome_trace, validate_live_jsonl  # noqa: E402
 
 
 def main(argv):
@@ -29,6 +40,26 @@ def main(argv):
         return 2
     failed = False
     for path in argv:
+        if path.endswith(".jsonl"):
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    lines = fh.readlines()
+            except OSError as exc:
+                print(f"{path}: unreadable ({exc})")
+                failed = True
+                continue
+            problems = validate_live_jsonl(lines)
+            if problems:
+                failed = True
+                print(f"{path}: {len(problems)} problem(s)")
+                for problem in problems:
+                    print(f"  - {problem}")
+            else:
+                live = sum(
+                    1 for line in lines if '"kind": "live.' in line
+                )
+                print(f"{path}: OK ({len(lines)} lines, {live} live events)")
+            continue
         try:
             with open(path, encoding="utf-8") as fh:
                 payload = json.load(fh)
